@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Float Instance Measure Printf Staged Test Time Toolkit Unix

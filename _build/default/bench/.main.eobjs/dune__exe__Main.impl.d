@@ -1,0 +1,1 @@
+bench/main.ml: Array Harness Hashtbl Lazy List Option Printf String Sys Unix Uxsm_assignment Uxsm_blocktree Uxsm_mapping Uxsm_matcher Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_workload Uxsm_xml

@@ -1,0 +1,51 @@
+(* Thin wrapper over Bechamel: one Test.make per measured point, OLS over
+   the monotonic clock, returning seconds per run. Expensive points (whole
+   PTQ evaluations over hundreds of mappings, Murty runs) get a small run
+   budget; Bechamel's sampling keeps cheap points precise. *)
+
+open Bechamel
+open Toolkit
+
+let default_quota = ref 0.3
+
+let seconds_per_run ?quota ~name f =
+  let quota =
+    match quota with
+    | Some q -> q
+    | None -> !default_quota
+  in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second quota)
+      ~kde:None ~stabilize:false ()
+  in
+  let elt =
+    match Test.elements test with
+    | [ e ] -> e
+    | _ -> assert false
+  in
+  let raw = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+  let ols =
+    Analyze.one
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  match Analyze.OLS.estimates ols with
+  | Some [ ns ] when Float.is_finite ns -> ns *. 1e-9
+  | _ ->
+    (* Degenerate sample (e.g. a single very slow run): fall back to one
+       timed execution. *)
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+
+(* Output helpers: every experiment prints a titled section with aligned
+   rows so the bench output reads like the paper's tables. *)
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n%!" id title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "    %s\n%!" s) fmt
+
+let row fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n%!" s) fmt

@@ -1,0 +1,428 @@
+(* uxsm: command-line front end for the library.
+
+   Subcommands cover the whole pipeline: generate standard schemas and
+   documents, run the matcher, derive top-h possible mappings, build block
+   trees, and answer probabilistic twig queries. *)
+
+open Cmdliner
+module Schema = Uxsm_schema.Schema
+module Doc = Uxsm_xml.Doc
+module Matching = Uxsm_mapping.Matching
+module Mapping = Uxsm_mapping.Mapping
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Block_tree = Uxsm_blocktree.Block_tree
+module Ptq = Uxsm_ptq.Ptq
+module Dataset = Uxsm_workload.Dataset
+module Standards = Uxsm_workload.Standards
+module Gen_doc = Uxsm_workload.Gen_doc
+module Queries = Uxsm_workload.Queries
+
+let style_conv =
+  let parse s =
+    match Standards.by_name s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown style %S (try XCBL, Apertum, OT, Excel, Noris, Paragon, CIDX)" s))
+  in
+  Arg.conv (parse, fun fmt st -> Format.pp_print_string fmt (Standards.style_name st))
+
+let dataset_conv =
+  let parse s =
+    match Dataset.find s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown dataset %S (D1..D10)" s))
+  in
+  Arg.conv (parse, fun fmt (d : Dataset.t) -> Format.pp_print_string fmt d.id)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic generation seed.")
+
+let h_arg =
+  Arg.(value & opt int 100 & info [ "h"; "top-h" ] ~docv:"H" ~doc:"Number of possible mappings to derive.")
+
+let tau_arg =
+  Arg.(value & opt float 0.2 & info [ "tau" ] ~docv:"TAU" ~doc:"c-block confidence threshold.")
+
+(* ------------------------------- schema --------------------------- *)
+
+let schema_cmd =
+  let run style seed xsd =
+    let s = Standards.generate ~seed style in
+    if xsd then print_string (Uxsm_schema.Xsd.to_xsd_string s)
+    else print_string (Schema.to_string s)
+  in
+  let style =
+    Arg.(required & pos 0 (some style_conv) None & info [] ~docv:"STYLE" ~doc:"Standard name.")
+  in
+  let xsd = Arg.(value & flag & info [ "xsd" ] ~doc:"Print as an XML Schema document.") in
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:"Generate a standard's schema and print it (indented text or --xsd).")
+    Term.(const run $ style $ seed_arg $ xsd)
+
+(* ------------------------------ datasets -------------------------- *)
+
+let datasets_cmd =
+  let run () =
+    Printf.printf "%-4s %-8s %-8s %-4s %5s %8s\n" "ID" "source" "target" "opt" "Cap." "o-ratio*";
+    List.iter
+      (fun (d : Dataset.t) ->
+        Printf.printf "%-4s %-8s %-8s %-4s %5d %8.2f\n" d.id
+          (Standards.style_name d.source)
+          (Standards.style_name d.target)
+          (match d.strategy with
+          | Uxsm_matcher.Coma.Context -> "c"
+          | Uxsm_matcher.Coma.Fragment -> "f")
+          d.capacity d.paper_o_ratio)
+      Dataset.all;
+    print_endline "(*paper-reported o-ratio; run the bench to measure this build's)"
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List the Table II matching datasets.") Term.(const run $ const ())
+
+(* ------------------------------- match ---------------------------- *)
+
+let match_cmd =
+  let run d seed =
+    let m = Dataset.matching ~seed d in
+    let source = Matching.source m and target = Matching.target m in
+    List.iter
+      (fun (c : Matching.corr) ->
+        Printf.printf "%.2f  %s ~ %s\n" c.score
+          (Schema.path_string source c.source)
+          (Schema.path_string target c.target))
+      (Matching.correspondences m)
+  in
+  let d =
+    Arg.(required & pos 0 (some dataset_conv) None & info [] ~docv:"DATASET" ~doc:"D1..D10.")
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Run the matcher on a dataset and print the scored correspondences.")
+    Term.(const run $ d $ seed_arg)
+
+(* ------------------------------ mappings -------------------------- *)
+
+let method_arg =
+  let method_conv =
+    Arg.enum [ ("partition", Mapping_set.Partitioned); ("murty", Mapping_set.Murty) ]
+  in
+  Arg.(value & opt method_conv Mapping_set.Partitioned & info [ "method" ] ~docv:"METHOD"
+         ~doc:"Top-h generation algorithm: $(b,partition) (Algorithm 5) or $(b,murty).")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_mapping_set path =
+  match Uxsm_mapping.Serialize.mapping_set_of_string (read_file path) with
+  | Ok mset -> mset
+  | Error e ->
+    Printf.eprintf "cannot load mapping set from %s: %s\n" path e;
+    exit 1
+
+let mappings_cmd =
+  let run d seed h method_ verbose save =
+    let t0 = Unix.gettimeofday () in
+    let mset = Dataset.mapping_set ~seed ~method_ ~h d in
+    Printf.printf "derived %d mappings in %.3fs; average o-ratio %.3f\n"
+      (Mapping_set.size mset)
+      (Unix.gettimeofday () -. t0)
+      (Mapping_set.average_o_ratio mset);
+    (match save with
+    | Some path ->
+      write_file path (Uxsm_mapping.Serialize.mapping_set_to_string mset);
+      Printf.printf "saved to %s\n" path
+    | None -> ());
+    let source = Mapping_set.source mset and target = Mapping_set.target mset in
+    List.iteri
+      (fun i (m, p) ->
+        Printf.printf "m%-3d p=%.4f score=%.2f size=%d\n" (i + 1) p (Mapping.score m)
+          (Mapping.size m);
+        if verbose then
+          List.iter
+            (fun (x, y) ->
+              Printf.printf "      %s ~ %s\n" (Schema.path_string source x)
+                (Schema.path_string target y))
+            (Mapping.pairs m))
+      (Mapping_set.mappings mset)
+  in
+  let d =
+    Arg.(required & pos 0 (some dataset_conv) None & info [] ~docv:"DATASET" ~doc:"D1..D10.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every correspondence of every mapping.")
+  in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Also write the mapping set to FILE (uxsm-mappings v1 format).")
+  in
+  Cmd.v
+    (Cmd.info "mappings" ~doc:"Derive the top-h possible mappings of a dataset.")
+    Term.(const run $ d $ seed_arg $ h_arg $ method_arg $ verbose $ save)
+
+(* ------------------------------ blocktree ------------------------- *)
+
+let blocktree_cmd =
+  let run d seed h tau max_b max_f verbose =
+    let mset = Dataset.mapping_set ~seed ~h d in
+    let t0 = Unix.gettimeofday () in
+    let tree = Block_tree.build ~params:{ Block_tree.tau; max_b; max_f } mset in
+    Printf.printf "built in %.3fs\n%s\n" (Unix.gettimeofday () -. t0)
+      (Format.asprintf "%a" Block_tree.pp_stats tree);
+    (match Block_tree.validate tree with
+    | Ok () -> print_endline "validation: ok"
+    | Error e -> Printf.printf "validation FAILED: %s\n" e);
+    if verbose then begin
+      let source = Mapping_set.source mset and target = Mapping_set.target mset in
+      List.iter
+        (fun b -> Format.printf "%a@." (Uxsm_blocktree.Block.pp ~source ~target) b)
+        (Block_tree.all_blocks tree)
+    end
+  in
+  let d =
+    Arg.(required & pos 0 (some dataset_conv) None & info [] ~docv:"DATASET" ~doc:"D1..D10.")
+  in
+  let max_b =
+    Arg.(value & opt int 500 & info [ "max-b" ] ~docv:"N" ~doc:"MAX_B: cap on non-leaf c-blocks.")
+  in
+  let max_f =
+    Arg.(value & opt int 500 & info [ "max-f" ] ~docv:"N" ~doc:"MAX_F: cap on failed attempts.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every c-block.") in
+  Cmd.v
+    (Cmd.info "blocktree" ~doc:"Build and validate the block tree of a dataset's mapping set.")
+    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ max_b $ max_f $ verbose)
+
+(* -------------------------------- query --------------------------- *)
+
+let query_cmd =
+  let run d seed h tau k basic from query_str =
+    let query =
+      match query_str with
+      | Some s -> Uxsm_twig.Pattern_parser.parse_exn s
+      | None -> Queries.q7
+    in
+    let mset =
+      match from with
+      | Some path -> load_mapping_set path
+      | None -> Dataset.mapping_set ~seed ~h d
+    in
+    let doc = Gen_doc.generate (Mapping_set.source mset) in
+    let tree = Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } mset in
+    let ctx = Ptq.context ~tree ~mset ~doc () in
+    let t0 = Unix.gettimeofday () in
+    let answers =
+      match (k, basic) with
+      | Some k, _ -> Ptq.query_topk ctx ~k query
+      | None, true -> Ptq.query_basic ctx query
+      | None, false -> Ptq.query_tree ctx query
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "query: %s\n" (Uxsm_twig.Pattern.to_string query);
+    Printf.printf "%d relevant mappings; evaluated in %.4fs\n" (List.length answers) dt;
+    List.iter
+      (fun (bindings, p) ->
+        Printf.printf "p=%.3f  %s\n" p
+          (match bindings with
+          | [] -> "(no match)"
+          | _ -> Printf.sprintf "%d matches" (List.length bindings)))
+      (Ptq.consolidate answers)
+  in
+  let d =
+    Arg.(required & pos 0 (some dataset_conv) None & info [] ~docv:"DATASET" ~doc:"D1..D10.")
+  in
+  let query_str =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Twig query (Table III syntax); defaults to Q7.")
+  in
+  let k =
+    Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K" ~doc:"Evaluate as a top-k PTQ.")
+  in
+  let basic =
+    Arg.(value & flag & info [ "basic" ] ~doc:"Use Algorithm 3 instead of the block tree.")
+  in
+  let from =
+    Arg.(value & opt (some string) None & info [ "mappings" ] ~docv:"FILE"
+           ~doc:"Load the mapping set from FILE (see $(b,mappings --save)) instead of generating it.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer a probabilistic twig query on a dataset.")
+    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ query_str)
+
+(* --------------------------------- doc ---------------------------- *)
+
+let doc_cmd =
+  let run style seed nodes xml =
+    let schema = Standards.generate ~seed style in
+    let doc = Gen_doc.generate ~seed ~target_nodes:nodes schema in
+    if xml then
+      print_string
+        (Uxsm_xml.Printer.to_string ~indent:2 (Doc.subtree doc (Doc.root doc)))
+    else
+      Printf.printf "document: %d element nodes, %d distinct labels, depth %d\n" (Doc.size doc)
+        (List.length (Doc.labels doc))
+        (List.fold_left (fun acc n -> max acc (Doc.level doc n)) 0
+           (List.init (Doc.size doc) Fun.id))
+  in
+  let style =
+    Arg.(required & pos 0 (some style_conv) None & info [] ~docv:"STYLE" ~doc:"Standard name.")
+  in
+  let nodes =
+    Arg.(value & opt int 3473 & info [ "nodes" ] ~docv:"N" ~doc:"Target element-node count.")
+  in
+  let xml = Arg.(value & flag & info [ "xml" ] ~doc:"Print the document as XML.") in
+  Cmd.v
+    (Cmd.info "doc" ~doc:"Generate an instance document for a standard's schema.")
+    Term.(const run $ style $ seed_arg $ nodes $ xml)
+
+(* ------------------------------ xsd-match ------------------------- *)
+
+let xsd_match_cmd =
+  let run source_path target_path h query_str =
+    let load path =
+      match Uxsm_schema.Xsd.of_xsd_string (read_file path) with
+      | Ok s -> s
+      | Error e ->
+        Printf.eprintf "cannot load %s: %s\n" path e;
+        exit 1
+    in
+    let source = load source_path and target = load target_path in
+    let matching = Uxsm_matcher.Coma.run ~source ~target () in
+    Printf.printf "%d correspondences between %d and %d elements\n"
+      (Matching.capacity matching) (Schema.size source) (Schema.size target);
+    List.iter
+      (fun (c : Matching.corr) ->
+        Printf.printf "%.2f  %s ~ %s\n" c.score
+          (Schema.path_string source c.source)
+          (Schema.path_string target c.target))
+      (Matching.correspondences matching);
+    let mset = Mapping_set.generate ~h matching in
+    Printf.printf "\ntop-%d mappings, o-ratio %.2f\n" (Mapping_set.size mset)
+      (Mapping_set.average_o_ratio mset);
+    match query_str with
+    | None -> ()
+    | Some qs ->
+      let q = Uxsm_twig.Pattern_parser.parse_exn qs in
+      let doc = Gen_doc.generate ~target_nodes:(4 * Schema.size source) source in
+      let tree = Block_tree.build mset in
+      let ctx = Ptq.context ~tree ~mset ~doc () in
+      Printf.printf "\nPTQ %s over a generated %d-node instance:\n" qs
+        (Uxsm_xml.Doc.size doc);
+      List.iter
+        (fun (bindings, p) ->
+          Printf.printf "  p=%.3f  %s\n" p
+            (match bindings with
+            | [] -> "(no match)"
+            | _ -> Printf.sprintf "%d matches" (List.length bindings)))
+        (Ptq.consolidate (Ptq.query_tree ctx q))
+  in
+  let source_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.xsd" ~doc:"Source schema file.")
+  in
+  let target_path =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"TARGET.xsd" ~doc:"Target schema file.")
+  in
+  let query_str =
+    Arg.(value & pos 2 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Optional twig query on the target schema.")
+  in
+  Cmd.v
+    (Cmd.info "xsd-match"
+       ~doc:"Match two XSD files, derive possible mappings, optionally answer a PTQ.")
+    Term.(const run $ source_path $ target_path $ h_arg $ query_str)
+
+(* ------------------------------- analyze -------------------------- *)
+
+let analyze_cmd =
+  let run d seed h tau query_str =
+    let mset = Dataset.mapping_set ~seed ~h d in
+    let module Metrics = Uxsm_mapping.Metrics in
+    Printf.printf "mapping set: |M|=%d, o-ratio=%.3f\n" (Mapping_set.size mset)
+      (Mapping_set.average_o_ratio mset);
+    Printf.printf "entropy: %.2f bits (normalized %.2f), expected mapping size %.1f\n"
+      (Metrics.entropy mset)
+      (Metrics.normalized_entropy mset)
+      (Metrics.expected_mapping_size mset);
+    Printf.printf "target-element ambiguity histogram (choices -> #elements):\n";
+    List.iter
+      (fun (a, c) -> Printf.printf "  %d -> %d\n" a c)
+      (Metrics.ambiguity_histogram mset);
+    let tree = Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } mset in
+    Printf.printf "block tree: %s\n" (Format.asprintf "%a" Block_tree.pp_stats tree);
+    match query_str with
+    | None -> ()
+    | Some qs ->
+      let q = Uxsm_twig.Pattern_parser.parse_exn qs in
+      let doc = Gen_doc.generate (Mapping_set.source mset) in
+      let ctx = Ptq.context ~tree ~mset ~doc () in
+      let stats, answers = Ptq.explain ctx q in
+      Printf.printf "query %s:\n" qs;
+      Printf.printf
+        "  resolutions=%d relevant=%d blocks_used=%d shared_evals=%d direct_evals=%d decompositions=%d joins=%d\n"
+        stats.Ptq.resolutions stats.Ptq.relevant_mappings stats.Ptq.blocks_used
+        stats.Ptq.shared_evaluations stats.Ptq.direct_evaluations stats.Ptq.decompositions
+        stats.Ptq.joins;
+      Printf.printf "  distinct answer sets: %d\n" (List.length (Ptq.consolidate answers))
+  in
+  let d =
+    Arg.(required & pos 0 (some dataset_conv) None & info [] ~docv:"DATASET" ~doc:"D1..D10.")
+  in
+  let query_str =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Optional twig query to EXPLAIN.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Report uncertainty metrics of a dataset's mapping set, and optionally EXPLAIN a query.")
+    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ query_str)
+
+(* ------------------------------- keyword -------------------------- *)
+
+let keyword_cmd =
+  let run d seed h terms =
+    let mset = Dataset.mapping_set ~seed ~h d in
+    let doc = Gen_doc.generate (Mapping_set.source mset) in
+    let tree = Block_tree.build mset in
+    let ctx = Ptq.context ~tree ~mset ~doc () in
+    let hits = Uxsm_ptq.Keyword.search ctx terms in
+    if hits = [] then print_endline "no interpretation has answers"
+    else
+      List.iter
+        (fun (hit : Uxsm_ptq.Keyword.hit) ->
+          Printf.printf "interpretation: %s\n"
+            (Uxsm_twig.Pattern.to_string hit.Uxsm_ptq.Keyword.pattern);
+          List.iteri
+            (fun i (bindings, p) ->
+              if i < 3 then
+                Printf.printf "  p=%.3f  %s\n" p
+                  (match bindings with
+                  | [] -> "(no match)"
+                  | _ -> Printf.sprintf "%d matches" (List.length bindings)))
+            hit.Uxsm_ptq.Keyword.answers)
+        hits
+  in
+  let d =
+    Arg.(required & pos 0 (some dataset_conv) None & info [] ~docv:"DATASET" ~doc:"D1..D10.")
+  in
+  let terms =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"TERM" ~doc:"Keywords.")
+  in
+  Cmd.v
+    (Cmd.info "keyword" ~doc:"Keyword search over a dataset's uncertain matching.")
+    Term.(const run $ d $ seed_arg $ h_arg $ terms)
+
+let () =
+  let info =
+    Cmd.info "uxsm" ~version:"1.0.0"
+      ~doc:"Managing uncertainty of XML schema matching (ICDE 2010 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd ]))

@@ -1,0 +1,1 @@
+examples/b2b_purchase_order.ml: List Printf String Uxsm_blocktree Uxsm_mapping Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_workload Uxsm_xml

@@ -1,0 +1,1 @@
+examples/b2b_purchase_order.mli:

@@ -1,0 +1,1 @@
+examples/dataspace_toph.ml: List Option Printf Unix Uxsm_assignment Uxsm_mapping Uxsm_schema Uxsm_workload

@@ -1,0 +1,1 @@
+examples/dataspace_toph.mli:

@@ -1,0 +1,1 @@
+examples/query_rewriting.ml: Array List Printf String Uxsm_mapping Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_workload

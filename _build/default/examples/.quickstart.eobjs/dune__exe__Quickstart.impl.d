@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf String Uxsm_blocktree Uxsm_mapping Uxsm_matcher Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_xml

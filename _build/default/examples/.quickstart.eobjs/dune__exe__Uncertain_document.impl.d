@@ -1,0 +1,1 @@
+examples/uncertain_document.ml: List Printf Uxsm_blocktree Uxsm_mapping Uxsm_ptq Uxsm_twig Uxsm_util Uxsm_workload Uxsm_xml

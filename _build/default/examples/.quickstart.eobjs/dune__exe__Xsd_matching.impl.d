@@ -1,0 +1,1 @@
+examples/xsd_matching.ml: Filename List Printf String Sys Uxsm_blocktree Uxsm_mapping Uxsm_matcher Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_workload

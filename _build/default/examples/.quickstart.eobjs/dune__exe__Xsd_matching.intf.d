@@ -1,0 +1,1 @@
+examples/xsd_matching.mli:

@@ -1,0 +1,105 @@
+(* Quickstart: the paper's running example (Figures 1-3) end to end.
+
+   Two purchase-order schemas disagree about structure; the matcher links
+   their elements with close scores; the uncertainty is kept as a set of
+   possible mappings; a block tree compresses the set; and a probabilistic
+   twig query returns every plausible answer with its probability.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Schema = Uxsm_schema.Schema
+module Matching = Uxsm_mapping.Matching
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Coma = Uxsm_matcher.Coma
+module Block_tree = Uxsm_blocktree.Block_tree
+module Parser = Uxsm_twig.Pattern_parser
+module Ptq = Uxsm_ptq.Ptq
+
+(* Figure 1(a): an XCBL-flavoured source schema. *)
+let source =
+  Schema.of_spec
+    (Schema.spec "Order"
+       [
+         Schema.spec "BillToParty"
+           [
+             Schema.spec "OrderContact" [ Schema.spec "ContactName" [] ];
+             Schema.spec "ReceivingContact" [ Schema.spec "ContactName" [] ];
+             Schema.spec "OtherContact" [ Schema.spec "ContactName" [] ];
+           ];
+         Schema.spec "SupplierParty" [];
+       ])
+
+(* Figure 1(b): an OpenTrans-flavoured target schema. *)
+let target =
+  Schema.of_spec
+    (Schema.spec "ORDER"
+       [
+         Schema.spec "SELLER_PARTY" [ Schema.spec "CONTACT_NAME" [] ];
+         Schema.spec "INVOICE_PARTY" [ Schema.spec "CONTACT_NAME" [] ];
+       ])
+
+(* Figure 2: a source document. *)
+let doc =
+  let open Uxsm_xml.Tree in
+  Uxsm_xml.Doc.of_tree
+    (element "Order"
+       [
+         element "BillToParty"
+           [
+             element "OrderContact" [ leaf "ContactName" "Cathy" ];
+             element "ReceivingContact" [ leaf "ContactName" "Bob" ];
+             element "OtherContact" [ leaf "ContactName" "Alice" ];
+           ];
+         element "SupplierParty" [];
+       ])
+
+let () =
+  (* 1. Automatic matching (COMA++-style): scored correspondences. *)
+  let matching = Coma.run ~source ~target () in
+  Printf.printf "== correspondences (%d) ==\n" (Matching.capacity matching);
+  List.iter
+    (fun (c : Matching.corr) ->
+      Printf.printf "  %.2f  %s ~ %s\n"
+        c.score
+        (Schema.path_string source c.source)
+        (Schema.path_string target c.target))
+    (Matching.correspondences matching);
+
+  (* 2. The uncertainty as possible mappings (top-5 by score). *)
+  let mset = Mapping_set.generate ~h:5 matching in
+  Printf.printf "\n== %d possible mappings, average o-ratio %.2f ==\n"
+    (Mapping_set.size mset)
+    (Mapping_set.average_o_ratio mset);
+  List.iteri
+    (fun i (m, p) ->
+      Printf.printf "  m%d (p=%.2f): %s\n" (i + 1) p
+        (String.concat ", "
+           (List.map
+              (fun (x, y) -> Schema.label source x ^ "~" ^ Schema.label target y)
+              (Uxsm_mapping.Mapping.pairs m))))
+    (Mapping_set.mappings mset);
+
+  (* 3. The block tree: shared correspondences stored once. *)
+  let tree = Block_tree.build ~params:{ Block_tree.tau = 0.4; max_b = 500; max_f = 500 } mset in
+  Printf.printf "\n== block tree ==\n%s\n" (Format.asprintf "%a" Block_tree.pp_stats tree);
+
+  (* 4. A probabilistic twig query: who is the invoice party's contact? *)
+  let q = Parser.parse_exn "//INVOICE_PARTY//CONTACT_NAME" in
+  let ctx = Ptq.context ~tree ~mset ~doc () in
+  Printf.printf "\n== PTQ %s ==\n" "//INVOICE_PARTY//CONTACT_NAME";
+  List.iter
+    (fun (bindings, p) ->
+      let render b =
+        String.concat "+"
+          (List.filter_map
+             (fun (label, text) ->
+               if label = "CONTACT_NAME" then Some text else None)
+             (Ptq.binding_texts ctx q b))
+      in
+      let answer =
+        match bindings with
+        | [] -> "(no match)"
+        | _ -> String.concat " | " (List.map render bindings)
+      in
+      Printf.printf "  p=%.2f  %s\n" p answer)
+    (Ptq.consolidate (Ptq.query_tree ctx q))

@@ -1,0 +1,84 @@
+(* Uncertainty on both sides, plus aggregates and keyword search.
+
+   The paper's conclusion sketches two extensions implemented here: PTQ
+   over *probabilistic XML documents* (the document's own elements may or
+   may not exist) and other query types. This example runs the D7 workload
+   with (1) an aggregate COUNT query, (2) per-match marginal probabilities,
+   (3) keyword search, and (4) a PTQ over a randomized probabilistic
+   version of the order document.
+
+   Run with: dune exec examples/uncertain_document.exe *)
+
+module Doc = Uxsm_xml.Doc
+module Prob_doc = Uxsm_xml.Prob_doc
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Block_tree = Uxsm_blocktree.Block_tree
+module Pattern = Uxsm_twig.Pattern
+module Ptq = Uxsm_ptq.Ptq
+module Aggregate = Uxsm_ptq.Aggregate
+module Keyword = Uxsm_ptq.Keyword
+module Ptq_prob = Uxsm_ptq.Ptq_prob
+module Dataset = Uxsm_workload.Dataset
+module Gen_doc = Uxsm_workload.Gen_doc
+module Queries = Uxsm_workload.Queries
+
+let () =
+  let mset = Dataset.mapping_set ~h:100 Dataset.d7 in
+  let doc = Gen_doc.generate (Mapping_set.source mset) in
+  let tree = Block_tree.build mset in
+  let ctx = Ptq.context ~tree ~mset ~doc () in
+
+  (* 1. Aggregate: how many order lines with a unit price does the order
+     have, under schema-matching uncertainty? *)
+  let q4 = Queries.q 4 in
+  Printf.printf "== COUNT over %s ==\n" (Pattern.to_string q4);
+  let c = Aggregate.count ctx q4 in
+  List.iter
+    (fun (v, p) -> Printf.printf "  P(count = %.0f) = %.2f\n" v p)
+    c.Aggregate.distribution;
+  (match c.Aggregate.expected with
+  | Some e -> Printf.printf "  expected count: %.2f\n" e
+  | None -> ());
+
+  (* 2. Marginals: the most probable individual answers of Q1. *)
+  let q1 = Queries.q 1 in
+  Printf.printf "\n== per-match marginals of %s ==\n" (Pattern.to_string q1);
+  List.iteri
+    (fun i (b, p) ->
+      if i < 3 then
+        Printf.printf "  p=%.2f  street=%S\n" p
+          (match Ptq.binding_texts ctx q1 b with
+          | texts -> (
+            match List.assoc_opt "Street" texts with
+            | Some t -> t
+            | None -> "?")))
+    (Ptq.marginals (Ptq.query_tree ctx q1));
+
+  (* 3. Keyword search: the user types terms, not paths. *)
+  Printf.printf "\n== keyword search: quantity unitprice ==\n";
+  List.iteri
+    (fun i (hit : Keyword.hit) ->
+      if i < 3 then begin
+        Printf.printf "  interpretation: %s\n" (Pattern.to_string hit.Keyword.pattern);
+        match hit.Keyword.answers with
+        | (bindings, p) :: _ ->
+          Printf.printf "    best answer set: %d matches with p=%.2f\n" (List.length bindings) p
+        | [] -> ()
+      end)
+    (Keyword.search ctx [ "quantity"; "unitprice" ]);
+
+  (* 4. A probabilistic document: 10% of the elements are only 70-100%
+     certain to exist. *)
+  Printf.printf "\n== PTQ over an uncertain document ==\n";
+  let prng = Uxsm_util.Prng.create 11 in
+  let pdoc = Prob_doc.randomize ~prng ~p_min:0.7 ~p_max:1.0 doc in
+  let answers = Ptq_prob.query ctx pdoc q4 in
+  let expected =
+    List.fold_left
+      (fun acc (a : Ptq_prob.answer) -> acc +. (a.mapping_prob *. a.expected_matches))
+      0.0 answers
+  in
+  Printf.printf "  expected number of answers across both uncertainties: %.2f\n" expected;
+  match Ptq_prob.match_marginals ctx pdoc q4 with
+  | (_, p) :: _ -> Printf.printf "  most certain single answer: joint probability %.3f\n" p
+  | [] -> print_endline "  no answers"

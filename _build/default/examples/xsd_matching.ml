@@ -1,0 +1,76 @@
+(* From real schema files to probabilistic answers.
+
+   Loads two hand-written XSD excerpts (xCBL-style OrderRequest and
+   openTRANS-style ORDER, under data/), matches them, derives the possible
+   mappings, and answers a probabilistic twig query over a generated
+   instance document — the full pipeline starting from schema files rather
+   than from the synthetic workload.
+
+   Run with: dune exec examples/xsd_matching.exe *)
+
+module Schema = Uxsm_schema.Schema
+module Xsd = Uxsm_schema.Xsd
+module Matching = Uxsm_mapping.Matching
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Coma = Uxsm_matcher.Coma
+module Block_tree = Uxsm_blocktree.Block_tree
+module Ptq = Uxsm_ptq.Ptq
+module Gen_doc = Uxsm_workload.Gen_doc
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match Xsd.of_xsd_string (read_file path) with
+  | Ok s -> s
+  | Error e ->
+    Printf.eprintf "cannot load %s: %s\n" path e;
+    exit 1
+
+let () =
+  let dir = try Sys.getenv "UXSM_DATA" with Not_found -> "data" in
+  let source = load (Filename.concat dir "xcbl_order.xsd") in
+  let target = load (Filename.concat dir "opentrans_order.xsd") in
+  Printf.printf "source: %d elements (OrderRequest), target: %d elements (ORDER)\n"
+    (Schema.size source) (Schema.size target);
+
+  let matching = Coma.run ~source ~target () in
+  Printf.printf "\n%d correspondences; a few of them:\n" (Matching.capacity matching);
+  List.iteri
+    (fun i (c : Matching.corr) ->
+      if i < 8 then
+        Printf.printf "  %.2f %s ~ %s\n" c.score
+          (Schema.path_string source c.source)
+          (Schema.path_string target c.target))
+    (Matching.correspondences matching);
+
+  let mset = Mapping_set.generate ~h:20 matching in
+  Printf.printf "\ntop-20 mappings, o-ratio %.2f\n" (Mapping_set.average_o_ratio mset);
+
+  let doc = Gen_doc.generate ~target_nodes:200 source in
+  let tree = Block_tree.build mset in
+  let ctx = Ptq.context ~tree ~mset ~doc () in
+  let query =
+    Uxsm_twig.Pattern_parser.parse_exn
+      "ORDER/ORDER_HEADER/DELIVERY_PARTY/CONTACT_NAME"
+  in
+  Printf.printf "\nPTQ %s:\n" (Uxsm_twig.Pattern.to_string query);
+  List.iter
+    (fun (bindings, p) ->
+      let texts =
+        List.concat_map
+          (fun b ->
+            List.filter_map
+              (fun (label, text) -> if label = "CONTACT_NAME" then Some text else None)
+              (Ptq.binding_texts ctx query b))
+          bindings
+      in
+      Printf.printf "  p=%.2f  %s\n" p
+        (match texts with
+        | [] -> "(no match)"
+        | _ -> String.concat " | " texts))
+    (Ptq.consolidate (Ptq.query_tree ctx query))

@@ -1,0 +1,1 @@
+lib/assignment/bipartite.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/assignment/murty.ml: Array Bipartite Float Hashtbl Int List Set Solver

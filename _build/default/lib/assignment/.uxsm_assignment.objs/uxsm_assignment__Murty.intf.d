@@ -1,0 +1,1 @@
+lib/assignment/murty.mli: Bipartite

@@ -1,0 +1,1 @@
+lib/assignment/partition.ml: Array Bipartite Fun Hashtbl Int List Murty Set Uxsm_util

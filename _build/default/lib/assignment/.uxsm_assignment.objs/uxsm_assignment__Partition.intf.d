@@ -1,0 +1,1 @@
+lib/assignment/partition.mli: Bipartite Murty

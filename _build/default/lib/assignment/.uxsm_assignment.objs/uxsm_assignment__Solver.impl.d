@@ -1,0 +1,1 @@
+lib/assignment/solver.ml: Array Bipartite Hashtbl Uxsm_util

@@ -1,0 +1,1 @@
+lib/assignment/solver.mli: Bipartite Hashtbl

@@ -1,0 +1,33 @@
+(** Weighted bipartite graphs for the top-h mapping problem.
+
+    Left nodes model source-schema elements, right nodes target-schema
+    elements, and edges scored correspondences. Per the paper (Section V),
+    every left node may also stay unassigned — the solvers model this with an
+    implicit zero-weight {e image} node per left node, so a "solution" is an
+    injective partial map from left to right. *)
+
+type t
+
+val create : n_left:int -> n_right:int -> (int * int * float) list -> t
+(** [create ~n_left ~n_right edges] builds a graph from [(left, right,
+    weight)] triples. Raises [Invalid_argument] on out-of-range indices,
+    negative weights, or duplicate [(left, right)] pairs. *)
+
+val n_left : t -> int
+val n_right : t -> int
+val n_edges : t -> int
+
+val edges : t -> (int * int * float) list
+(** All edges, in insertion order. *)
+
+val adj : t -> int -> (int * float) array
+(** Real (non-image) out-edges of a left node. *)
+
+val radj : t -> int -> (int * float) array
+(** In-edges of a right node, as [(left, weight)]. *)
+
+val weight : t -> int -> int -> float option
+(** Weight of a specific edge, if present. *)
+
+val max_weight : t -> float
+(** Largest edge weight; [0.] if the graph has no edges. *)

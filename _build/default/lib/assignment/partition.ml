@@ -1,0 +1,106 @@
+type component = {
+  lefts : int list;
+  rights : int list;
+  edges : (int * int * float) list;
+}
+
+(* Union-find over left nodes [0, nl) and right nodes [nl, nl + nr). *)
+let components g =
+  let nl = Bipartite.n_left g in
+  let nr = Bipartite.n_right g in
+  let parent = Array.init (nl + nr) Fun.id in
+  let rec find x = if parent.(x) = x then x else find parent.(x) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  List.iter (fun (i, j, _) -> union i (nl + j)) (Bipartite.edges g);
+  let by_root : (int, (int * int * float) list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ((i, _, _) as e) ->
+      let r = find i in
+      let prev = try Hashtbl.find by_root r with Not_found -> [] in
+      Hashtbl.replace by_root r (e :: prev))
+    (Bipartite.edges g);
+  let component_of_edges edges =
+    let ls = ref [] and rs = ref [] in
+    let module IS = Set.Make (Int) in
+    let lset = ref IS.empty and rset = ref IS.empty in
+    List.iter
+      (fun (i, j, _) ->
+        lset := IS.add i !lset;
+        rset := IS.add j !rset)
+      edges;
+    ls := IS.elements !lset;
+    rs := IS.elements !rset;
+    { lefts = !ls; rights = !rs; edges = List.rev edges }
+  in
+  Hashtbl.fold (fun root edges acc -> (root, component_of_edges edges) :: acc) by_root []
+  |> List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2)
+  |> List.map snd
+
+let empty_solution : Murty.solution = { pairs = []; score = 0.0 }
+
+let merge ~h xs ys =
+  match (xs, ys) with
+  | [], _ | _, [] -> []
+  | _ ->
+    let xa = Array.of_list xs and ya = Array.of_list ys in
+    let nx = Array.length xa and ny = Array.length ya in
+    let heap = Uxsm_util.Fheap.create () in
+    let seen = Hashtbl.create 64 in
+    let push ix iy =
+      if ix < nx && iy < ny && not (Hashtbl.mem seen (ix, iy)) then begin
+        Hashtbl.add seen (ix, iy) ();
+        let s = xa.(ix).Murty.score +. ya.(iy).Murty.score in
+        Uxsm_util.Fheap.push heap (-.s) (ix, iy)
+      end
+    in
+    push 0 0;
+    let out = ref [] in
+    let count = ref 0 in
+    let rec drain () =
+      if !count < h then
+        match Uxsm_util.Fheap.pop heap with
+        | None -> ()
+        | Some (neg_s, (ix, iy)) ->
+          let combined : Murty.solution =
+            { pairs = List.merge compare xa.(ix).Murty.pairs ya.(iy).Murty.pairs; score = -.neg_s }
+          in
+          out := combined :: !out;
+          incr count;
+          push (ix + 1) iy;
+          push ix (iy + 1);
+          drain ()
+    in
+    drain ();
+    List.rev !out
+
+let top ?order ~h g =
+  if h <= 0 then []
+  else begin
+    let comps = components g in
+    let local_top comp =
+      (* Re-index the component to a compact bipartite, rank it, and map the
+         solutions back to global indices. *)
+      let l_of = Hashtbl.create 16 and r_of = Hashtbl.create 16 in
+      let l_back = Array.of_list comp.lefts and r_back = Array.of_list comp.rights in
+      List.iteri (fun k i -> Hashtbl.replace l_of i k) comp.lefts;
+      List.iteri (fun k j -> Hashtbl.replace r_of j k) comp.rights;
+      let edges =
+        List.map (fun (i, j, w) -> (Hashtbl.find l_of i, Hashtbl.find r_of j, w)) comp.edges
+      in
+      let sub =
+        Bipartite.create ~n_left:(Array.length l_back) ~n_right:(Array.length r_back) edges
+      in
+      Murty.top ?order ~h sub
+      |> List.map (fun (s : Murty.solution) ->
+             {
+               Murty.pairs = List.map (fun (i, j) -> (l_back.(i), r_back.(j))) s.pairs;
+               score = s.score;
+             })
+    in
+    List.fold_left
+      (fun acc comp -> merge ~h acc (local_top comp))
+      [ empty_solution ] comps
+  end

@@ -1,0 +1,28 @@
+(** Divide-and-conquer top-h assignment (the paper's Algorithm 5).
+
+    A schema matching's bipartite graph is typically sparse, so it splits
+    into many small connected components ("partitions"). The top-h
+    assignments of the whole graph are obtained by ranking each component
+    independently ({!Murty.top}) and merging the per-component lists with a
+    heap — per-component rank beyond [h] can never contribute to the global
+    top-h, which is what makes the merge sound. *)
+
+type component = {
+  lefts : int list;  (** left nodes of the component, ascending *)
+  rights : int list;  (** right nodes of the component, ascending *)
+  edges : (int * int * float) list;  (** edges, in global indices *)
+}
+
+val components : Bipartite.t -> component list
+(** Maximal connected components of the correspondence graph that contain at
+    least one edge (isolated nodes never affect scores). Deterministic
+    order: by smallest left node. *)
+
+val merge : h:int -> Murty.solution list -> Murty.solution list -> Murty.solution list
+(** [merge ~h xs ys] — top-h combinations (concatenated pairs, summed
+    scores) of two non-increasing solution lists, non-increasing. Exposed
+    for testing. *)
+
+val top : ?order:[ `Index | `Degree ] -> h:int -> Bipartite.t -> Murty.solution list
+(** Same contract as {!Murty.top} — identical score sequence — but computed
+    component-wise. *)

@@ -1,0 +1,1 @@
+lib/blocktree/block.ml: Array Format Int List Printf String Uxsm_mapping Uxsm_schema

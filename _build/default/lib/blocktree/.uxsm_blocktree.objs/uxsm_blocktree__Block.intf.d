@@ -1,0 +1,1 @@
+lib/blocktree/block.mli: Format Uxsm_mapping Uxsm_schema

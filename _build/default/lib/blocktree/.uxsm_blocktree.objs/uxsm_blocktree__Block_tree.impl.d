@@ -1,0 +1,1 @@
+lib/blocktree/block_tree.ml: Array Block Format Fun Hashtbl List Printf Uxsm_mapping Uxsm_schema

@@ -1,0 +1,1 @@
+lib/blocktree/block_tree.mli: Block Format Uxsm_mapping Uxsm_schema

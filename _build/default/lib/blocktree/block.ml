@@ -1,0 +1,86 @@
+module Schema = Uxsm_schema.Schema
+module Mapping = Uxsm_mapping.Mapping
+module Mapping_set = Uxsm_mapping.Mapping_set
+
+type t = {
+  anchor : Schema.element;
+  corrs : (Schema.element * Schema.element) array;
+  mappings : int array;
+}
+
+let create ~anchor ~corrs ~mappings =
+  let corrs =
+    List.sort (fun (_, t1) (_, t2) -> Int.compare t1 t2) corrs |> Array.of_list
+  in
+  let mappings = List.sort_uniq Int.compare mappings |> Array.of_list in
+  { anchor; corrs; mappings }
+
+let source_of b y =
+  let lo = ref 0 and hi = ref (Array.length b.corrs - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s, t = b.corrs.(mid) in
+    if t = y then begin
+      found := Some s;
+      lo := !hi + 1
+    end
+    else if t < y then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let n_corrs b = Array.length b.corrs
+let n_mappings b = Array.length b.mappings
+
+let mem_mapping b id =
+  let lo = ref 0 and hi = ref (Array.length b.mappings - 1) in
+  let found = ref false in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if b.mappings.(mid) = id then begin
+      found := true;
+      lo := !hi + 1
+    end
+    else if b.mappings.(mid) < id then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let subset_of_mapping b m =
+  Array.for_all (fun (s, t) -> Mapping.source_of m t = Some s) b.corrs
+
+let validate ~target ~mset ~threshold b =
+  let expected = Schema.subtree_elements target b.anchor in
+  let covered = Array.to_list (Array.map snd b.corrs) in
+  if List.sort Int.compare covered <> List.sort Int.compare expected then
+    Error
+      (Printf.sprintf "block at %s does not cover exactly the anchor subtree"
+         (Schema.path_string target b.anchor))
+  else if Array.length b.mappings < threshold then
+    Error
+      (Printf.sprintf "block at %s has %d mappings, below threshold %d"
+         (Schema.path_string target b.anchor)
+         (Array.length b.mappings) threshold)
+  else begin
+    let bad =
+      Array.exists
+        (fun id -> not (subset_of_mapping b (Mapping_set.mapping mset id)))
+        b.mappings
+    in
+    if bad then
+      Error
+        (Printf.sprintf "block at %s is not a subset of all its mappings"
+           (Schema.path_string target b.anchor))
+    else Ok ()
+  end
+
+let pp ~source ~target fmt b =
+  Format.fprintf fmt "@[<v 2>c-block @ %s:@ C: %s@ M: %s@]"
+    (Schema.path_string target b.anchor)
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun (s, t) -> Schema.label source s ^ "~" ^ Schema.label target t)
+             b.corrs)))
+    (String.concat ", " (Array.to_list (Array.map (fun i -> "m" ^ string_of_int (i + 1)) b.mappings)))

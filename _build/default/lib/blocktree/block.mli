@@ -1,0 +1,46 @@
+(** Blocks and c-blocks (Definitions 1 and 2).
+
+    A block is a set of correspondences [b.C] shared by a set of mappings
+    [b.M]. A {e constrained} block (c-block) is additionally anchored at a
+    target element [b.a] whose complete subtree is covered by [b.C], with
+    [|b.M| >= τ·|M|]. *)
+
+type t = {
+  anchor : Uxsm_schema.Schema.element;  (** [b.a], a target schema element *)
+  corrs : (Uxsm_schema.Schema.element * Uxsm_schema.Schema.element) array;
+      (** [b.C] as [(source, target)] pairs, sorted by target element; covers
+          exactly the subtree rooted at [anchor] *)
+  mappings : int array;  (** [b.M]: ids into the mapping set, sorted *)
+}
+
+val create :
+  anchor:Uxsm_schema.Schema.element ->
+  corrs:(Uxsm_schema.Schema.element * Uxsm_schema.Schema.element) list ->
+  mappings:int list ->
+  t
+
+val source_of : t -> Uxsm_schema.Schema.element -> Uxsm_schema.Schema.element option
+(** [source_of b y] — the source element [b.C] assigns to target element
+    [y], if [y] is covered by the block (binary search). *)
+
+val n_corrs : t -> int
+val n_mappings : t -> int
+
+val mem_mapping : t -> int -> bool
+(** Whether a mapping id belongs to [b.M] (binary search). *)
+
+val subset_of_mapping : t -> Uxsm_mapping.Mapping.t -> bool
+(** Whether [b.C ⊆ m] — every correspondence of the block appears in the
+    mapping (Definition 1's requirement, used by validation). *)
+
+val validate :
+  target:Uxsm_schema.Schema.t ->
+  mset:Uxsm_mapping.Mapping_set.t ->
+  threshold:int ->
+  t ->
+  (unit, string) result
+(** Check Definition 2: [corrs] covers exactly the subtree of [anchor], the
+    block has at least [threshold] mappings, and [b.C ⊆ m_i] for every
+    [i ∈ b.M]. *)
+
+val pp : source:Uxsm_schema.Schema.t -> target:Uxsm_schema.Schema.t -> Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(** The block tree (Section III): a compact representation of a set of
+    possible mappings.
+
+    The tree mirrors the target schema; each node carries the c-blocks
+    anchored there. Construction is the bottom-up post-order pass of
+    Algorithms 1–2: leaf blocks come from grouping mappings by their
+    correspondence for that element ([init_block]); non-leaf blocks combine
+    one candidate block of the node with one c-block per child (Lemma 1),
+    bounded by [max_b] created non-leaf blocks and [max_f] failed
+    combination attempts. A hash table [H] maps target paths with at least
+    one c-block to their node, and a mapping-compression pass replaces block
+    correspondences inside mappings by block pointers. *)
+
+type params = {
+  tau : float;  (** confidence threshold τ — a c-block needs [≥ τ·|M|] mappings *)
+  max_b : int;  (** MAX_B: cap on non-leaf c-blocks created *)
+  max_f : int;  (** MAX_F: cap on failed block-combination attempts per node *)
+}
+
+val default_params : params
+(** The paper's defaults: [tau = 0.2], [max_b = 500], [max_f = 500]. *)
+
+type t
+
+val build : ?params:params -> Uxsm_mapping.Mapping_set.t -> t
+(** Algorithm 1. *)
+
+val mapping_set : t -> Uxsm_mapping.Mapping_set.t
+val params : t -> params
+
+val threshold : t -> int
+(** [⌈τ·|M|⌉] — the minimum mapping count of a c-block. *)
+
+val blocks_at : t -> Uxsm_schema.Schema.element -> Block.t list
+(** C-blocks anchored at a target element (the node's linked list). *)
+
+val has_blocks : t -> Uxsm_schema.Schema.element -> bool
+
+val lookup_path : t -> string -> Uxsm_schema.Schema.element option
+(** The hash table [H]: ['.']-joined target path → block-tree node, present
+    only for nodes holding at least one c-block. *)
+
+val all_blocks : t -> Block.t list
+(** Every c-block, grouped by node in pre-order. *)
+
+val n_blocks : t -> int
+
+val block_sizes : t -> int list
+(** Correspondence counts of all c-blocks (Figure 9(c)'s distribution). *)
+
+val storage_bytes : t -> int
+(** Accounting for the compressed representation: block contents, hash
+    table, and the compressed mappings (block pointers + residual
+    correspondences), on the same cost model as
+    {!Uxsm_mapping.Mapping_set.storage_bytes_naive}. *)
+
+val compression_ratio : t -> float
+(** [1 - storage_bytes / storage_bytes_naive] (Figure 9(a)). *)
+
+val compressed_corrs_of_mapping : t -> int -> [ `Block of Block.t | `Corr of int * int ] list
+(** The compressed form of mapping [i]: block pointers plus residual
+    correspondences. Concatenating the block correspondences with the
+    residuals reconstructs the mapping exactly (tested property). *)
+
+val validate : t -> (unit, string) result
+(** Check Definition 2 for every stored block, plus hash-table consistency
+    and lossless mapping compression. *)
+
+val pp_stats : Format.formatter -> t -> unit

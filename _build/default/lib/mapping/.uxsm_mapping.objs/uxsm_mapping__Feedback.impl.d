@@ -1,0 +1,1 @@
+lib/mapping/feedback.ml: Float Hashtbl Int List Mapping Mapping_set Metrics Uxsm_schema

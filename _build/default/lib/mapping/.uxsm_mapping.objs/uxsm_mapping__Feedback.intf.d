@@ -1,0 +1,1 @@
+lib/mapping/feedback.mli: Mapping_set Uxsm_schema

@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Array Format List Uxsm_schema

@@ -1,0 +1,1 @@
+lib/mapping/mapping_set.ml: Array Float List Mapping Matching Uxsm_assignment Uxsm_schema

@@ -1,0 +1,1 @@
+lib/mapping/mapping_set.mli: Mapping Matching Uxsm_schema

@@ -1,0 +1,1 @@
+lib/mapping/matching.ml: Hashtbl List Uxsm_assignment Uxsm_schema

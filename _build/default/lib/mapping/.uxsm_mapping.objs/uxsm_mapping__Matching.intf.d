@@ -1,0 +1,1 @@
+lib/mapping/matching.mli: Uxsm_assignment Uxsm_schema

@@ -1,0 +1,1 @@
+lib/mapping/metrics.ml: Float Fun Hashtbl List Mapping Mapping_set Option Uxsm_schema

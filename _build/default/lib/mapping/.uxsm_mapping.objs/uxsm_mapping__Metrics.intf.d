@@ -1,0 +1,1 @@
+lib/mapping/metrics.mli: Mapping_set Uxsm_schema

@@ -1,0 +1,1 @@
+lib/mapping/serialize.ml: Buffer List Mapping Mapping_set Matching Printf String Uxsm_schema

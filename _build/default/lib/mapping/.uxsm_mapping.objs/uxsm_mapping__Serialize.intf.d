@@ -1,0 +1,1 @@
+lib/mapping/serialize.mli: Mapping_set Matching

@@ -1,0 +1,61 @@
+module Schema = Uxsm_schema.Schema
+
+type verdict =
+  | Confirmed of Schema.element
+  | Unmapped
+
+let consistent verdict m y =
+  match (verdict, Mapping.source_of m y) with
+  | Confirmed x, Some x' -> x = x'
+  | Unmapped, None -> true
+  | Confirmed _, None | Unmapped, Some _ -> false
+
+let condition mset ~target verdict =
+  let survivors =
+    List.filter (fun (m, _) -> consistent verdict m target) (Mapping_set.mappings mset)
+  in
+  match survivors with
+  | [] -> None
+  | _ -> Some (Mapping_set.of_mappings (Mapping_set.matching mset) survivors)
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let entropy_of_probs probs =
+  List.fold_left (fun acc p -> if p > 0.0 then acc -. (p *. log2 p) else acc) 0.0 probs
+
+(* Group the mapping probabilities by the choice they make for [target];
+   the expected posterior entropy is sum over answers a of
+   P(a) * H(distribution | a). *)
+let expected_entropy_after mset ~target =
+  let groups : (int, float list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (m, p) ->
+      let key =
+        match Mapping.source_of m target with
+        | Some x -> x
+        | None -> -1
+      in
+      let prev = try Hashtbl.find groups key with Not_found -> [] in
+      Hashtbl.replace groups key (p :: prev))
+    (Mapping_set.mappings mset);
+  Hashtbl.fold
+    (fun _ probs acc ->
+      let mass = List.fold_left ( +. ) 0.0 probs in
+      if mass <= 0.0 then acc
+      else begin
+        let conditional = List.map (fun p -> p /. mass) probs in
+        acc +. (mass *. entropy_of_probs conditional)
+      end)
+    groups 0.0
+
+let questions mset =
+  let target = Mapping_set.target mset in
+  List.filter_map
+    (fun y ->
+      if Metrics.target_ambiguity mset y < 2 then None
+      else Some (y, expected_entropy_after mset ~target:y))
+    (Schema.elements target)
+  |> List.sort (fun (y1, h1) (y2, h2) ->
+         match Float.compare h1 h2 with
+         | 0 -> Int.compare y1 y2
+         | c -> c)

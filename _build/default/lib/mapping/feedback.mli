@@ -1,0 +1,33 @@
+(** Expert feedback over an uncertain matching.
+
+    The paper's introduction observes that uncertainty can be resolved by
+    consulting domain experts, at a cost. This module makes that loop
+    concrete: condition the mapping distribution on a confirmed (or
+    rejected) correspondence — Bayesian update by filtering and
+    renormalizing — and rank the questions worth asking by expected
+    entropy reduction. Downstream structures (block trees, PTQ contexts)
+    are rebuilt from the conditioned set. *)
+
+type verdict =
+  | Confirmed of Uxsm_schema.Schema.element
+      (** the expert says the target element corresponds to this source
+          element *)
+  | Unmapped  (** the expert says the target element corresponds to nothing *)
+
+val condition :
+  Mapping_set.t -> target:Uxsm_schema.Schema.element -> verdict ->
+  Mapping_set.t option
+(** Keep only the mappings consistent with the verdict, renormalized.
+    [None] when no mapping survives (the expert contradicted every
+    hypothesis — the matching itself needs revisiting). *)
+
+val questions : Mapping_set.t -> (Uxsm_schema.Schema.element * float) list
+(** Target elements worth asking about, ranked by the expected entropy (in
+    bits) of the mapping distribution {e after} asking — lower is better,
+    the element whose answer prunes the most mass first. Elements the
+    mappings already agree on are omitted. Assumes the expert answers
+    according to the current distribution. *)
+
+val expected_entropy_after :
+  Mapping_set.t -> target:Uxsm_schema.Schema.element -> float
+(** The value {!questions} ranks by, for one element. *)

@@ -1,0 +1,54 @@
+(** Possible mappings: injective partial functions between the elements of a
+    source and a target schema.
+
+    A mapping is one consistent reading of a schema matching — each element
+    matches at most one element on the other side (the [m_1..m_5] of the
+    paper's Figure 3). *)
+
+type t
+
+val of_pairs :
+  source:Uxsm_schema.Schema.t ->
+  target:Uxsm_schema.Schema.t ->
+  score:float ->
+  (Uxsm_schema.Schema.element * Uxsm_schema.Schema.element) list ->
+  t
+(** [of_pairs ~source ~target ~score pairs] builds a mapping from
+    [(source_element, target_element)] correspondences. Raises
+    [Invalid_argument] if either side repeats an element or indices are out
+    of range. *)
+
+val score : t -> float
+(** Sum of the correspondence scores the mapping was built from. *)
+
+val size : t -> int
+(** Number of correspondences. *)
+
+val pairs : t -> (Uxsm_schema.Schema.element * Uxsm_schema.Schema.element) list
+(** Correspondences sorted by source element. *)
+
+val source_of : t -> Uxsm_schema.Schema.element -> Uxsm_schema.Schema.element option
+(** [source_of m y] — the source element corresponding to target element
+    [y], if any. This is the lookup direction used by query rewriting and
+    the block tree. *)
+
+val target_of : t -> Uxsm_schema.Schema.element -> Uxsm_schema.Schema.element option
+
+val covers_targets : t -> Uxsm_schema.Schema.element list -> bool
+(** Whether every listed target element has a correspondence ("relevant
+    mapping" test of Algorithm 3). *)
+
+val inter_size : t -> t -> int
+(** Number of correspondences shared by two mappings. *)
+
+val union_size : t -> t -> int
+
+val o_ratio : t -> t -> float
+(** The paper's overlap ratio [|m_i ∩ m_j| / |m_i ∪ m_j|]; 1.0 when both
+    mappings are empty. *)
+
+val equal : t -> t -> bool
+(** Same correspondence set (scores not compared). *)
+
+val pp : source:Uxsm_schema.Schema.t -> target:Uxsm_schema.Schema.t -> Format.formatter -> t -> unit
+(** Render as ["src~TGT"] lines, as in Figure 3. *)

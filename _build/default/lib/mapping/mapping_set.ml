@@ -1,0 +1,74 @@
+module Schema = Uxsm_schema.Schema
+
+type t = {
+  matching : Matching.t;
+  mappings : Mapping.t array;
+  probs : float array;
+}
+
+type method_ =
+  | Murty
+  | Partitioned
+
+let normalize scores =
+  let total = Array.fold_left ( +. ) 0.0 scores in
+  if total <= 0.0 then Array.map (fun _ -> 1.0 /. float_of_int (Array.length scores)) scores
+  else Array.map (fun s -> s /. total) scores
+
+let generate ?(method_ = Partitioned) ~h u =
+  if h <= 0 then invalid_arg "Mapping_set.generate: h must be positive";
+  let g = Matching.to_bipartite u in
+  let solutions =
+    match method_ with
+    | Murty -> Uxsm_assignment.Murty.top ~h g
+    | Partitioned -> Uxsm_assignment.Partition.top ~h g
+  in
+  let source = Matching.source u and target = Matching.target u in
+  let mappings =
+    Array.of_list
+      (List.map
+         (fun (s : Uxsm_assignment.Murty.solution) ->
+           Mapping.of_pairs ~source ~target ~score:s.score s.pairs)
+         solutions)
+  in
+  let probs = normalize (Array.map Mapping.score mappings) in
+  { matching = u; mappings; probs }
+
+let of_mappings u entries =
+  if entries = [] then invalid_arg "Mapping_set.of_mappings: empty set";
+  List.iter
+    (fun (_, p) -> if p <= 0.0 then invalid_arg "Mapping_set.of_mappings: non-positive probability")
+    entries;
+  let entries = List.stable_sort (fun (_, p1) (_, p2) -> Float.compare p2 p1) entries in
+  let mappings = Array.of_list (List.map fst entries) in
+  let probs = normalize (Array.of_list (List.map snd entries)) in
+  { matching = u; mappings; probs }
+
+let matching t = t.matching
+let source t = Matching.source t.matching
+let target t = Matching.target t.matching
+let size t = Array.length t.mappings
+let mapping t i = t.mappings.(i)
+let probability t i = t.probs.(i)
+
+let mappings t = List.init (size t) (fun i -> (t.mappings.(i), t.probs.(i)))
+
+let average_o_ratio t =
+  let n = size t in
+  if n < 2 then 1.0
+  else begin
+    let total = ref 0.0 in
+    let pairs = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        total := !total +. Mapping.o_ratio t.mappings.(i) t.mappings.(j);
+        incr pairs
+      done
+    done;
+    !total /. float_of_int !pairs
+  end
+
+let storage_bytes_naive t =
+  let per_corr = 8 in
+  let per_mapping = 8 in
+  Array.fold_left (fun acc m -> acc + per_mapping + (per_corr * Mapping.size m)) 0 t.mappings

@@ -1,0 +1,50 @@
+(** Sets of possible mappings with probabilities — the paper's
+    [M = {m_1, ..., m_|M|}] with [p_i], i.e. the probabilistic reading of a
+    schema matching.
+
+    Generation follows Section V: the top-h mappings of the matching's
+    bipartite graph are extracted (either with plain Murty ranking or with
+    the divide-and-conquer partitioning of Algorithm 5), and each mapping's
+    probability is its score normalized over the h scores. *)
+
+type t
+
+type method_ =
+  | Murty  (** rank the whole bipartite graph *)
+  | Partitioned  (** Algorithm 5: per-component ranking + merge *)
+
+val generate : ?method_:method_ -> h:int -> Matching.t -> t
+(** [generate ~h u] — the top-h possible mappings of matching [u] (fewer if
+    the space is smaller), probabilities normalized over the set. Default
+    method: [Partitioned]. *)
+
+val of_mappings : Matching.t -> (Mapping.t * float) list -> t
+(** Build from explicit mappings and probabilities (e.g. the paper's
+    Figure 3 running example). Probabilities must be positive; they are
+    normalized to sum to 1. *)
+
+val matching : t -> Matching.t
+val source : t -> Uxsm_schema.Schema.t
+val target : t -> Uxsm_schema.Schema.t
+
+val size : t -> int
+(** [|M|]. *)
+
+val mapping : t -> int -> Mapping.t
+(** [mapping t i] — the [i]-th mapping, [0 <= i < size t]. *)
+
+val probability : t -> int -> float
+(** [p_i]; the probabilities sum to 1. *)
+
+val mappings : t -> (Mapping.t * float) list
+(** All mappings with probabilities, in decreasing probability order. *)
+
+val average_o_ratio : t -> float
+(** Mean pairwise overlap ratio (Table II's "o-ratio"); 1.0 for singleton
+    sets. *)
+
+val storage_bytes_naive : t -> int
+(** Accounting model for the uncompressed representation: every mapping
+    stores all its correspondences, each costing two element ids (4 bytes
+    each) plus an 8-byte probability per mapping. Used by the
+    compression-ratio experiments (Figure 9a). *)

@@ -1,0 +1,60 @@
+module Schema = Uxsm_schema.Schema
+
+type corr = {
+  source : Schema.element;
+  target : Schema.element;
+  score : float;
+}
+
+type t = {
+  source : Schema.t;
+  target : Schema.t;
+  corrs : corr list;
+  by_pair : (int * int, float) Hashtbl.t;
+  by_target : (int, corr list) Hashtbl.t;  (* reversed *)
+  by_source : (int, corr list) Hashtbl.t;  (* reversed *)
+}
+
+let create ~source ~target corrs =
+  let by_pair = Hashtbl.create (List.length corrs) in
+  let by_target = Hashtbl.create 64 in
+  let by_source = Hashtbl.create 64 in
+  let check_and_index (c : corr) =
+    if c.source < 0 || c.source >= Schema.size source then
+      invalid_arg "Matching.create: source element out of range";
+    if c.target < 0 || c.target >= Schema.size target then
+      invalid_arg "Matching.create: target element out of range";
+    if c.score <= 0.0 || c.score > 1.0 then
+      invalid_arg "Matching.create: score must be in (0, 1]";
+    if Hashtbl.mem by_pair (c.source, c.target) then
+      invalid_arg "Matching.create: duplicate correspondence";
+    Hashtbl.add by_pair (c.source, c.target) c.score;
+    let prev_t = try Hashtbl.find by_target c.target with Not_found -> [] in
+    Hashtbl.replace by_target c.target (c :: prev_t);
+    let prev_s = try Hashtbl.find by_source c.source with Not_found -> [] in
+    Hashtbl.replace by_source c.source (c :: prev_s)
+  in
+  List.iter check_and_index corrs;
+  { source; target; corrs; by_pair; by_target; by_source }
+
+let source t = t.source
+let target t = t.target
+let correspondences t = t.corrs
+let capacity t = List.length t.corrs
+let score t x y = Hashtbl.find_opt t.by_pair (x, y)
+
+let corrs_of_target t y =
+  match Hashtbl.find_opt t.by_target y with
+  | None -> []
+  | Some l -> List.rev l
+
+let corrs_of_source t x =
+  match Hashtbl.find_opt t.by_source x with
+  | None -> []
+  | Some l -> List.rev l
+
+let to_bipartite t =
+  Uxsm_assignment.Bipartite.create
+    ~n_left:(Schema.size t.source)
+    ~n_right:(Schema.size t.target)
+    (List.map (fun (c : corr) -> (c.source, c.target, c.score)) t.corrs)

@@ -1,0 +1,40 @@
+(** Schema matchings: the scored correspondences produced by an automatic
+    matcher (the paper's [U]).
+
+    A correspondence [(x, y, score)] links source element [x] to target
+    element [y] with a similarity in [(0, 1]]. A matching is the full edge
+    set between one source and one target schema. *)
+
+type corr = {
+  source : Uxsm_schema.Schema.element;
+  target : Uxsm_schema.Schema.element;
+  score : float;
+}
+
+type t
+
+val create :
+  source:Uxsm_schema.Schema.t -> target:Uxsm_schema.Schema.t -> corr list -> t
+(** Validates element ranges, scores in [(0, 1]], and uniqueness of
+    [(source, target)] pairs; raises [Invalid_argument] otherwise. *)
+
+val source : t -> Uxsm_schema.Schema.t
+val target : t -> Uxsm_schema.Schema.t
+
+val correspondences : t -> corr list
+(** In creation order. *)
+
+val capacity : t -> int
+(** Number of correspondences (Table II's "Cap."). *)
+
+val score : t -> Uxsm_schema.Schema.element -> Uxsm_schema.Schema.element -> float option
+(** [score m x y] — similarity of the [(x, y)] correspondence, if present. *)
+
+val corrs_of_target : t -> Uxsm_schema.Schema.element -> corr list
+(** All correspondences whose target is the given element. *)
+
+val corrs_of_source : t -> Uxsm_schema.Schema.element -> corr list
+
+val to_bipartite : t -> Uxsm_assignment.Bipartite.t
+(** The correspondence graph: left = source elements, right = target
+    elements, one weighted edge per correspondence. *)

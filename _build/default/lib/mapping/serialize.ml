@@ -1,0 +1,148 @@
+module Schema = Uxsm_schema.Schema
+
+let float_str f = Printf.sprintf "%.17g" f
+
+(* Indent a schema text block by two spaces so section parsing can rely on
+   unindented keywords. *)
+let indent_block text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l -> "  " ^ l)
+  |> String.concat "\n"
+
+let dedent_block lines =
+  List.map
+    (fun l -> if String.length l >= 2 && String.sub l 0 2 = "  " then String.sub l 2 (String.length l - 2) else l)
+    lines
+  |> String.concat "\n"
+
+let matching_body buf m =
+  Buffer.add_string buf "source-schema\n";
+  Buffer.add_string buf (indent_block (Schema.to_string (Matching.source m)));
+  Buffer.add_string buf "\ntarget-schema\n";
+  Buffer.add_string buf (indent_block (Schema.to_string (Matching.target m)));
+  Buffer.add_string buf "\ncorrespondences\n";
+  List.iter
+    (fun (c : Matching.corr) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %d %d\n" (float_str c.score) c.source c.target))
+    (Matching.correspondences m)
+
+let matching_to_string m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "uxsm-matching v1\n";
+  matching_body buf m;
+  Buffer.contents buf
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+(* Split into sections: a line without leading spaces starts a section;
+   indented lines belong to the current one. *)
+let sections_of_lines lines =
+  let out = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some (name, body) -> out := (name, List.rev body) :: !out
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      if String.trim line = "" then ()
+      else if line.[0] <> ' ' then begin
+        flush ();
+        current := Some (String.trim line, [])
+      end
+      else
+        match !current with
+        | Some (name, body) -> current := Some (name, line :: body)
+        | None -> failf "content before any section: %s" line)
+    lines;
+  flush ();
+  List.rev !out
+
+let find_section name sections =
+  match List.assoc_opt name sections with
+  | Some body -> body
+  | None -> failf "missing section %S" name
+
+let schema_of_section body =
+  match Schema.of_string (dedent_block body) with
+  | Ok s -> s
+  | Error e -> failf "bad schema block: %s" e
+
+let parse_matching_sections sections =
+  let source = schema_of_section (find_section "source-schema" sections) in
+  let target = schema_of_section (find_section "target-schema" sections) in
+  let corrs =
+    List.map
+      (fun line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | [ score; x; y ] -> (
+          match (float_of_string_opt score, int_of_string_opt x, int_of_string_opt y) with
+          | Some score, Some source, Some target -> { Matching.source; target; score }
+          | _ -> failf "bad correspondence line: %s" line)
+        | _ -> failf "bad correspondence line: %s" line)
+      (find_section "correspondences" sections)
+  in
+  Matching.create ~source ~target corrs
+
+let matching_of_string text =
+  match String.split_on_char '\n' text with
+  | header :: rest when String.trim header = "uxsm-matching v1" -> (
+    try Ok (parse_matching_sections (sections_of_lines rest)) with
+    | Fail msg -> Error msg
+    | Invalid_argument msg -> Error msg)
+  | _ -> Error "expected header 'uxsm-matching v1'"
+
+let mapping_set_to_string mset =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "uxsm-mappings v1\n";
+  matching_body buf (Mapping_set.matching mset);
+  Buffer.add_string buf "mappings\n";
+  List.iter
+    (fun (m, p) ->
+      let pairs =
+        String.concat " "
+          (List.map (fun (x, y) -> Printf.sprintf "%d:%d" x y) (Mapping.pairs m))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s %s\n" (float_str p) (float_str (Mapping.score m)) pairs))
+    (Mapping_set.mappings mset);
+  Buffer.contents buf
+
+let mapping_set_of_string text =
+  match String.split_on_char '\n' text with
+  | header :: rest when String.trim header = "uxsm-mappings v1" -> (
+    try
+      let sections = sections_of_lines rest in
+      let matching = parse_matching_sections sections in
+      let source = Matching.source matching and target = Matching.target matching in
+      let parse_pair token =
+        match String.split_on_char ':' token with
+        | [ x; y ] -> (
+          match (int_of_string_opt x, int_of_string_opt y) with
+          | Some x, Some y -> (x, y)
+          | _ -> failf "bad pair %S" token)
+        | _ -> failf "bad pair %S" token
+      in
+      let mappings =
+        List.map
+          (fun line ->
+            match String.split_on_char ' ' (String.trim line) with
+            | prob :: score :: pair_tokens -> (
+              match (float_of_string_opt prob, float_of_string_opt score) with
+              | Some prob, Some score ->
+                let pairs = List.map parse_pair pair_tokens in
+                (Mapping.of_pairs ~source ~target ~score pairs, prob)
+              | _ -> failf "bad mapping line: %s" line)
+            | [] | [ _ ] -> failf "bad mapping line: %s" line)
+          (find_section "mappings" sections)
+      in
+      Ok (Mapping_set.of_mappings matching mappings)
+    with
+    | Fail msg -> Error msg
+    | Invalid_argument msg -> Error msg)
+  | _ -> Error "expected header 'uxsm-mappings v1'"

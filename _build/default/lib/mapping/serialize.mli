@@ -1,0 +1,20 @@
+(** Textual serialization of matchings and mapping sets.
+
+    A self-contained, line-oriented format: both schemas are embedded (in
+    {!Uxsm_schema.Schema.to_string}'s indented form), so a saved matching
+    or mapping set reloads without external context. Floats round-trip
+    exactly ([%.17g]). Useful for caching matcher output, shipping mapping
+    sets between the CLI's subcommands, and regression fixtures. *)
+
+val matching_to_string : Matching.t -> string
+
+val matching_of_string : string -> (Matching.t, string) result
+(** Inverse of {!matching_to_string}: correspondences, scores and both
+    schemas are restored exactly. *)
+
+val mapping_set_to_string : Mapping_set.t -> string
+
+val mapping_set_of_string : string -> (Mapping_set.t, string) result
+(** Restores the matching, every mapping (pairs and score) and the
+    probabilities (renormalized by construction, which is the identity for
+    a saved set). *)

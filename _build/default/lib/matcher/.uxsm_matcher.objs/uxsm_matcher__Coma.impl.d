@@ -1,0 +1,1 @@
+lib/matcher/coma.ml: Array Float Hashtbl Int List Name_sim Structure_sim Uxsm_mapping Uxsm_schema

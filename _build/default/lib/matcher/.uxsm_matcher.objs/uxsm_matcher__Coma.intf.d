@@ -1,0 +1,1 @@
+lib/matcher/coma.mli: Name_sim Uxsm_mapping Uxsm_schema

@@ -1,0 +1,1 @@
+lib/matcher/mediate.ml: Array Coma Hashtbl List Printf Uxsm_mapping Uxsm_schema

@@ -1,0 +1,1 @@
+lib/matcher/mediate.mli: Coma Uxsm_mapping Uxsm_schema

@@ -1,0 +1,1 @@
+lib/matcher/name_sim.mli:

@@ -1,0 +1,1 @@
+lib/matcher/structure_sim.ml: List Uxsm_schema

@@ -1,0 +1,1 @@
+lib/matcher/structure_sim.mli: Uxsm_schema

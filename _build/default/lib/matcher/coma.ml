@@ -1,0 +1,151 @@
+module Schema = Uxsm_schema.Schema
+module Matching = Uxsm_mapping.Matching
+
+type strategy =
+  | Context
+  | Fragment
+
+type config = {
+  strategy : strategy;
+  threshold : float;
+  delta : float;
+  name_weight : float;
+  synonyms : Name_sim.synonyms option;
+}
+
+let default_config strategy =
+  { strategy; threshold = 0.55; delta = 0.12; name_weight = 0.55; synonyms = Some (Name_sim.synonyms ()) }
+
+(* Combined score of one pair under a given (possibly memoized)
+   name-similarity function. *)
+let score_with cfg ~name_sim source x target y =
+  let name = name_sim (Schema.label source x) (Schema.label target y) in
+  let structure =
+    match cfg.strategy with
+    | Context -> Structure_sim.path_similarity ~name_sim source x target y
+    | Fragment ->
+      (* Subtree shape plus the enclosing fragment's name: without the
+         parent term, every leaf with the same label ties at 1.0 across
+         all contexts. *)
+      let c = Structure_sim.children_similarity ~name_sim source x target y in
+      let l = Structure_sim.leaf_similarity ~name_sim source x target y in
+      let p = Structure_sim.parent_similarity ~name_sim source x target y in
+      (c +. l +. p) /. 3.0
+  in
+  (cfg.name_weight *. name) +. ((1.0 -. cfg.name_weight) *. structure)
+
+let pair_score cfg source x target y =
+  score_with cfg ~name_sim:(Name_sim.combined ?synonyms:cfg.synonyms) source x target y
+
+(* Scoring an |S| x |T| matrix re-evaluates the same label pairs many times
+   (schemas repeat labels like Contact or City), so name similarities are
+   memoized per distinct label pair for the duration of one run. *)
+let memoized_name_sim cfg =
+  let memo : (string * string, float) Hashtbl.t = Hashtbl.create 4096 in
+  fun a b ->
+    match Hashtbl.find_opt memo (a, b) with
+    | Some v -> v
+    | None ->
+      let v = Name_sim.combined ?synonyms:cfg.synonyms a b in
+      Hashtbl.add memo (a, b) v;
+      v
+
+(* All pair scores (computed once), plus per-element best scores for the
+   both-directions selection. *)
+let score_matrix cfg source target =
+  let name_sim = memoized_name_sim cfg in
+  let score x y = score_with cfg ~name_sim source x target y in
+  let ns = Schema.size source and nt = Schema.size target in
+  let best_s = Array.make ns 0.0 and best_t = Array.make nt 0.0 in
+  let pairs = ref [] in
+  for x = 0 to ns - 1 do
+    for y = 0 to nt - 1 do
+      let s = score x y in
+      if s > best_s.(x) then best_s.(x) <- s;
+      if s > best_t.(y) then best_t.(y) <- s;
+      if s >= 0.05 then pairs := (x, y, s) :: !pairs
+    done
+  done;
+  (!pairs, best_s, best_t)
+
+let select ~threshold ~delta (pairs, best_s, best_t) =
+  List.filter
+    (fun (x, y, s) -> s >= threshold && s >= best_s.(x) -. delta && s >= best_t.(y) -. delta)
+    pairs
+  |> List.sort (fun (x1, y1, s1) (x2, y2, s2) ->
+         match Float.compare s2 s1 with
+         | 0 -> compare (x1, y1) (x2, y2)
+         | c -> c)
+
+(* COMA++ reports coarsely rounded scores (the paper's Figure 1:
+   .75/.84/.83/.84); quantizing to 0.02 reproduces the exact ties that make
+   many mappings equally plausible. *)
+let clamp_score s = min 1.0 (max 0.01 (Float.round (s *. 50.0) /. 50.0))
+
+let matching_of_pairs ~source ~target pairs =
+  Matching.create ~source ~target
+    (List.map (fun (x, y, s) -> { Matching.source = x; target = y; score = clamp_score s }) pairs)
+
+let run ?config ~source ~target () =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> default_config Context
+  in
+  let matrix = score_matrix cfg source target in
+  matching_of_pairs ~source ~target (select ~threshold:cfg.threshold ~delta:cfg.delta matrix)
+
+let run_with_capacity ~strategy ~capacity ~source ~target () =
+  if capacity < 0 then invalid_arg "Coma.run_with_capacity";
+  let base = default_config strategy in
+  let matrix = score_matrix base source target in
+  let pairs_at threshold delta = select ~threshold ~delta matrix in
+  (* Lower thresholds only add pairs; binary-search the largest threshold
+     whose selection still reaches [capacity], then truncate the tail. If
+     even the lowest threshold is short, widen the delta band. *)
+  let rec with_delta delta tries =
+    let lo = 0.05 in
+    if List.length (pairs_at lo delta) < capacity then
+      if tries = 0 then (lo, delta) else with_delta (delta *. 2.0) (tries - 1)
+    else begin
+      let rec search lo hi i =
+        if i = 0 then lo
+        else begin
+          let mid = (lo +. hi) /. 2.0 in
+          if List.length (pairs_at mid delta) >= capacity then search mid hi (i - 1)
+          else search lo mid (i - 1)
+        end
+      in
+      (search lo 0.99 20, delta)
+    end
+  in
+  let threshold, delta = with_delta base.delta 6 in
+  let pairs = pairs_at threshold delta in
+  (* Truncate like COMA selects: every element's best counterpart first
+     (rank 1 on either side), then second choices, and so on; score breaks
+     ties within a rank. Plain top-score truncation would concentrate the
+     whole budget on a few strongly-ambiguous elements. *)
+  let rank_of =
+    let best_rank : (bool * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let note key =
+      let r = 1 + (try Hashtbl.find best_rank key with Not_found -> 0) in
+      Hashtbl.replace best_rank key r;
+      r
+    in
+    (* pairs are sorted by decreasing score, so per-element ranks follow. *)
+    List.map
+      (fun ((x, y, _) as pair) ->
+        let rs = note (true, x) and rt = note (false, y) in
+        (min rs rt, pair))
+      pairs
+  in
+  let kept =
+    List.stable_sort (fun (r1, (_, _, s1)) (r2, (_, _, s2)) ->
+        match Int.compare r1 r2 with
+        | 0 -> Float.compare s2 s1
+        | c -> c)
+      rank_of
+    |> List.filteri (fun i _ -> i < capacity)
+    |> List.map snd
+  in
+  matching_of_pairs ~source ~target kept

@@ -1,0 +1,35 @@
+(** Pay-as-you-go mediated-schema bootstrapping, after Das Sarma, Dong and
+    Halevy (SIGMOD 2008) — the paper's [15], which derives probabilistic
+    mappings between a mediated schema and each source.
+
+    A simplified but faithful pipeline: the first source seeds the mediated
+    schema; every further source is matched against the current mediated
+    schema and its unmatched subtrees are grafted in (under the mediated
+    element their parent matched, or under the root). The result is one
+    mediated schema that covers every source, plus a matching from it to
+    each source — each of which can be fed to
+    {!Uxsm_mapping.Mapping_set.generate} to obtain the probabilistic
+    mediated-to-source mappings of the dataspace setting. *)
+
+type t = {
+  schema : Uxsm_schema.Schema.t;  (** the mediated schema *)
+  matchings : (string * Uxsm_mapping.Matching.t) list;
+      (** per source (by name): matching from the mediated schema (source
+          side) to that source (target side) *)
+}
+
+val build :
+  ?config:Coma.config ->
+  ?graft_threshold:float ->
+  (string * Uxsm_schema.Schema.t) list ->
+  t
+(** [build sources] — [sources] must be non-empty; the first one seeds the
+    mediated schema. An element of a later source is considered covered
+    when some mediated element scores at least [graft_threshold] (default
+    0.75) against it; whole uncovered subtrees are grafted. Raises
+    [Invalid_argument] on an empty source list. *)
+
+val coverage : t -> string -> float
+(** Fraction of the named source's elements with at least one
+    correspondence in the final matching; raises [Not_found] for unknown
+    names. *)

@@ -1,0 +1,39 @@
+module Schema = Uxsm_schema.Schema
+
+let soft_set_similarity ~name_sim la lb =
+  match (la, lb) with
+  | [], [] -> 1.0
+  | [], _ | _, [] -> 0.0
+  | _ ->
+    let best one other = List.fold_left (fun acc u -> max acc (name_sim one u)) 0.0 other in
+    let avg side other =
+      List.fold_left (fun acc x -> acc +. best x other) 0.0 side /. float_of_int (List.length side)
+    in
+    (avg la lb +. avg lb la) /. 2.0
+
+let ancestors s e =
+  match List.rev (Schema.path s e) with
+  | [] -> []
+  | _self :: rest -> rest
+
+let path_similarity ~name_sim sa ea sb eb =
+  let self = name_sim (Schema.label sa ea) (Schema.label sb eb) in
+  let context = soft_set_similarity ~name_sim (ancestors sa ea) (ancestors sb eb) in
+  (0.6 *. self) +. (0.4 *. context)
+
+let child_names s e = List.map (Schema.label s) (Schema.children s e)
+
+let children_similarity ~name_sim sa ea sb eb =
+  soft_set_similarity ~name_sim (child_names sa ea) (child_names sb eb)
+
+let leaf_names s e =
+  List.filter (Schema.is_leaf s) (Schema.subtree_elements s e) |> List.map (Schema.label s)
+
+let leaf_similarity ~name_sim sa ea sb eb =
+  soft_set_similarity ~name_sim (leaf_names sa ea) (leaf_names sb eb)
+
+let parent_similarity ~name_sim sa ea sb eb =
+  match (Schema.parent sa ea, Schema.parent sb eb) with
+  | None, None -> 1.0
+  | Some pa, Some pb -> name_sim (Schema.label sa pa) (Schema.label sb pb)
+  | None, Some _ | Some _, None -> 0.0

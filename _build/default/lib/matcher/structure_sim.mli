@@ -1,0 +1,52 @@
+(** Structural similarity measures between schema elements, in the style of
+    COMA++'s structure-level matchers.
+
+    Each measure takes the name-similarity function to use on labels
+    ([name_sim]) so that callers can supply a memoized instance (the
+    matcher scores |S|·|T| pairs and labels repeat heavily). *)
+
+val path_similarity :
+  name_sim:(string -> string -> float) ->
+  Uxsm_schema.Schema.t ->
+  Uxsm_schema.Schema.element ->
+  Uxsm_schema.Schema.t ->
+  Uxsm_schema.Schema.element ->
+  float
+(** Similarity of root-to-element contexts: the elements' own names weigh
+    60%, a soft set comparison of their ancestor labels 40%. Soft ancestor
+    matching keeps renamed hierarchies with extra wrapper levels (XCBL's
+    [BuyerParty/Buyer]) comparable. Backbone of the {e context} strategy. *)
+
+val soft_set_similarity :
+  name_sim:(string -> string -> float) -> string list -> string list -> float
+(** Symmetric average-best-match similarity of two label multisets; 1 when
+    both are empty, 0 when exactly one is. *)
+
+val children_similarity :
+  name_sim:(string -> string -> float) ->
+  Uxsm_schema.Schema.t ->
+  Uxsm_schema.Schema.element ->
+  Uxsm_schema.Schema.t ->
+  Uxsm_schema.Schema.element ->
+  float
+(** Soft set similarity of direct child names; 1 when both are leaves. *)
+
+val leaf_similarity :
+  name_sim:(string -> string -> float) ->
+  Uxsm_schema.Schema.t ->
+  Uxsm_schema.Schema.element ->
+  Uxsm_schema.Schema.t ->
+  Uxsm_schema.Schema.element ->
+  float
+(** Soft set similarity of the leaf names of the two subtrees — the
+    {e fragment} strategy's structural signal. *)
+
+val parent_similarity :
+  name_sim:(string -> string -> float) ->
+  Uxsm_schema.Schema.t ->
+  Uxsm_schema.Schema.element ->
+  Uxsm_schema.Schema.t ->
+  Uxsm_schema.Schema.element ->
+  float
+(** Name similarity of the two elements' parents (1 when both are roots,
+    0 when only one is) — the local context of a fragment. *)

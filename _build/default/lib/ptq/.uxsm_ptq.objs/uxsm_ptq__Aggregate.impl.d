@@ -1,0 +1,1 @@
+lib/ptq/aggregate.ml: Array Float Hashtbl List Ptq Uxsm_twig Uxsm_xml

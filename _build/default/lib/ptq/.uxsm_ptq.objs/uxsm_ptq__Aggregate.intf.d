@@ -1,0 +1,1 @@
+lib/ptq/aggregate.mli: Ptq Uxsm_twig

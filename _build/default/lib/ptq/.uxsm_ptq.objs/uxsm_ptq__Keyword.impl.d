@@ -1,0 +1,1 @@
+lib/ptq/keyword.ml: Hashtbl List Ptq String Uxsm_mapping Uxsm_schema Uxsm_twig

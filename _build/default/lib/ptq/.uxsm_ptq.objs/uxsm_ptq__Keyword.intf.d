@@ -1,0 +1,1 @@
+lib/ptq/keyword.mli: Ptq Uxsm_schema Uxsm_twig

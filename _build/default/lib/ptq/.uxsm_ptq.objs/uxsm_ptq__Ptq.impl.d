@@ -1,0 +1,1 @@
+lib/ptq/ptq.ml: Array Float Fun Hashtbl Int List Resolve Rewrite Uxsm_blocktree Uxsm_mapping Uxsm_schema Uxsm_twig Uxsm_xml

@@ -1,0 +1,1 @@
+lib/ptq/ptq.mli: Uxsm_blocktree Uxsm_mapping Uxsm_twig Uxsm_xml

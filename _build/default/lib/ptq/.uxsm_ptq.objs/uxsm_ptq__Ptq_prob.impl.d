@@ -1,0 +1,1 @@
+lib/ptq/ptq_prob.ml: Array Float Hashtbl List Ptq Uxsm_twig Uxsm_xml

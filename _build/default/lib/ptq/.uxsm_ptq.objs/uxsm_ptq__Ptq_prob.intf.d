@@ -1,0 +1,1 @@
+lib/ptq/ptq_prob.mli: Ptq Uxsm_twig Uxsm_xml

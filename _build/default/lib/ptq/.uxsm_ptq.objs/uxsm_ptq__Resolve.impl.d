@@ -1,0 +1,1 @@
+lib/ptq/resolve.ml: List Option Uxsm_schema Uxsm_twig Uxsm_xml

@@ -1,0 +1,1 @@
+lib/ptq/resolve.mli: Uxsm_schema Uxsm_twig Uxsm_xml

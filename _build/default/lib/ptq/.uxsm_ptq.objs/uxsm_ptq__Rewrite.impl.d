@@ -1,0 +1,1 @@
+lib/ptq/rewrite.ml: Array List Option Uxsm_schema Uxsm_twig

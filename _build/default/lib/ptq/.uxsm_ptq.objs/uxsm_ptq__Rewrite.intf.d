@@ -1,0 +1,1 @@
+lib/ptq/rewrite.mli: Resolve Uxsm_schema Uxsm_twig

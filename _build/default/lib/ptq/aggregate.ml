@@ -1,0 +1,73 @@
+module Doc = Uxsm_xml.Doc
+module Pattern = Uxsm_twig.Pattern
+module Binding = Uxsm_twig.Binding
+
+type t = {
+  per_mapping : (int * float * float option) list;
+  distribution : (float * float) list;
+  undefined_mass : float;
+  expected : float option;
+}
+
+(* The block tree accelerates aggregates exactly as it does plain PTQs. *)
+let answers ctx pattern = Ptq.query ctx pattern
+
+let numeric_values ctx ~node (bindings : Binding.t list) =
+  List.filter_map
+    (fun (b : Binding.t) ->
+      if b.(node) < 0 then None
+      else
+        float_of_string_opt (Doc.text (Ptq.source_doc ctx) b.(node)))
+    bindings
+
+let build per_mapping =
+  let tbl : (float, float) Hashtbl.t = Hashtbl.create 16 in
+  let undefined = ref 0.0 in
+  List.iter
+    (fun (_, p, v) ->
+      match v with
+      | Some v ->
+        let prev = try Hashtbl.find tbl v with Not_found -> 0.0 in
+        Hashtbl.replace tbl v (prev +. p)
+      | None -> undefined := !undefined +. p)
+    per_mapping;
+  let distribution =
+    Hashtbl.fold (fun v p acc -> (v, p) :: acc) tbl []
+    |> List.sort (fun (_, p1) (_, p2) -> Float.compare p2 p1)
+  in
+  let defined_mass = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 distribution in
+  let expected =
+    if defined_mass <= 0.0 then None
+    else
+      Some
+        (List.fold_left (fun acc (v, p) -> acc +. (v *. p)) 0.0 distribution /. defined_mass)
+  in
+  { per_mapping; distribution; undefined_mass = !undefined; expected }
+
+let eval ctx pattern aggregate =
+  build
+    (List.map
+       (fun (a : Ptq.answer) -> (a.mapping_id, a.probability, aggregate a.bindings))
+       (answers ctx pattern))
+
+let count ctx pattern =
+  eval ctx pattern (fun bindings -> Some (float_of_int (List.length bindings)))
+
+let fold_values f init ctx ~node pattern =
+  eval ctx pattern (fun bindings ->
+      match numeric_values ctx ~node bindings with
+      | [] -> None
+      | vs -> Some (List.fold_left f init vs))
+
+let sum ctx ~node pattern =
+  eval ctx pattern (fun bindings ->
+      Some (List.fold_left ( +. ) 0.0 (numeric_values ctx ~node bindings)))
+
+let minimum ctx ~node pattern = fold_values min infinity ctx ~node pattern
+let maximum ctx ~node pattern = fold_values max neg_infinity ctx ~node pattern
+
+let average ctx ~node pattern =
+  eval ctx pattern (fun bindings ->
+      match numeric_values ctx ~node bindings with
+      | [] -> None
+      | vs -> Some (List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)))

@@ -1,0 +1,40 @@
+(** Aggregate queries over possible mappings — the extension of Gal,
+    Martinez, Simari and Subrahmanian (ICDE 2009), which the paper cites as
+    [16], transplanted to PTQ.
+
+    Under by-table semantics each mapping [m_i] yields one answer set
+    [R_i]; an aggregate maps [R_i] to a number, so the query's result is a
+    {e distribution} over aggregate values: value [v] carries the total
+    probability of the mappings whose answers aggregate to [v]. *)
+
+type t = {
+  per_mapping : (int * float * float option) list;
+      (** (mapping id, probability, aggregate value); [None] when the
+          aggregate is undefined (min/max of an empty answer set) *)
+  distribution : (float * float) list;
+      (** distinct defined values with their total probability, sorted by
+          decreasing probability *)
+  undefined_mass : float;
+      (** total probability of mappings with an undefined aggregate *)
+  expected : float option;
+      (** expectation over the defined part, renormalized; [None] when no
+          mapping defines the aggregate *)
+}
+
+val count : Ptq.context -> Uxsm_twig.Pattern.t -> t
+(** Number of matches per mapping (COUNT; always defined — empty answer
+    sets count 0). *)
+
+val sum : Ptq.context -> node:int -> Uxsm_twig.Pattern.t -> t
+(** Sum over all matches of the numeric text of query node [node]
+    (pre-order id). Matches with non-numeric text are skipped; an empty
+    answer set sums to 0. *)
+
+val minimum : Ptq.context -> node:int -> Uxsm_twig.Pattern.t -> t
+(** Minimum over matches of the numeric text of query node [node];
+    undefined when a mapping has no numeric match. *)
+
+val maximum : Ptq.context -> node:int -> Uxsm_twig.Pattern.t -> t
+
+val average : Ptq.context -> node:int -> Uxsm_twig.Pattern.t -> t
+(** Mean over matches; undefined on empty answer sets. *)

@@ -1,0 +1,89 @@
+module Schema = Uxsm_schema.Schema
+module Pattern = Uxsm_twig.Pattern
+
+let contains_ci hay needle =
+  let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  ||
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let element_candidates schema term =
+  List.filter (fun e -> contains_ci (Schema.label schema e) term) (Schema.elements schema)
+
+let lca schema elems =
+  let rec ancestors e acc =
+    match Schema.parent schema e with
+    | None -> e :: acc
+    | Some p -> ancestors p (e :: acc)
+  in
+  match elems with
+  | [] -> Schema.root schema
+  | first :: rest ->
+    (* Common prefix of root-to-element chains. *)
+    let chains = List.map (fun e -> ancestors e []) (first :: rest) in
+    let rec common prefix chains =
+      let heads = List.map (function [] -> None | h :: _ -> Some h) chains in
+      match heads with
+      | Some h :: _ when List.for_all (fun x -> x = Some h) heads ->
+        common (Some h) (List.map List.tl chains)
+      | _ -> prefix
+    in
+    (match common None chains with
+    | Some e -> e
+    | None -> Schema.root schema)
+
+let pattern_for schema picks =
+  let anchor = lca schema picks in
+  let branch e = (Pattern.Descendant, Pattern.node (Schema.label schema e)) in
+  let branches = List.map branch (List.filter (fun e -> e <> anchor) picks) in
+  let root =
+    match branches with
+    | [] -> Pattern.node (Schema.label schema anchor)
+    | [ b ] -> Pattern.node ~next:b (Schema.label schema anchor)
+    | b :: rest -> Pattern.node ~preds:rest ~next:b (Schema.label schema anchor)
+  in
+  let axis = if anchor = Schema.root schema then Pattern.Child else Pattern.Descendant in
+  { Pattern.axis; root }
+
+let interpretations ?(limit = 16) schema terms =
+  let candidate_sets = List.map (element_candidates schema) terms in
+  if List.exists (fun l -> l = []) candidate_sets then []
+  else begin
+    (* Enumerate pick combinations breadth-first up to the limit. *)
+    let combos =
+      List.fold_left
+        (fun acc cands ->
+          List.concat_map (fun picks -> List.map (fun c -> c :: picks) cands) acc
+          |> List.filteri (fun i _ -> i < limit * 8))
+        [ [] ] candidate_sets
+      |> List.map List.rev
+    in
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun picks ->
+        let p = pattern_for schema (List.sort_uniq compare picks) in
+        let key = Pattern.to_string p in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some p
+        end)
+      combos
+    |> List.filteri (fun i _ -> i < limit)
+  end
+
+type hit = {
+  pattern : Pattern.t;
+  answers : (Uxsm_twig.Binding.t list * float) list;
+}
+
+let search ?limit ctx terms =
+  let target = Uxsm_mapping.Mapping_set.target (Ptq.mapping_set ctx) in
+  List.filter_map
+    (fun pattern ->
+      let answers = Ptq.consolidate (Ptq.query ctx pattern) in
+      if List.for_all (fun (bs, _) -> bs = []) answers then None
+      else Some { pattern; answers })
+    (interpretations ?limit target terms)

@@ -1,0 +1,32 @@
+(** Keyword queries over an uncertain schema matching — one of the paper's
+    future-work directions ("how the block tree can facilitate ... keyword
+    query").
+
+    A keyword query is a bag of terms the user types without knowing the
+    target schema. Each term is matched against target-schema element
+    labels; for every way of picking one element per term, the minimal twig
+    pattern connecting the picks (their lowest common ancestor with one
+    descendant branch per pick) is built and evaluated as an ordinary PTQ.
+    Results come back per candidate interpretation, most probable answers
+    first. *)
+
+val element_candidates : Uxsm_schema.Schema.t -> string -> Uxsm_schema.Schema.element list
+(** Target elements whose label contains the term (case-insensitive
+    substring over the label's tokens). *)
+
+val lca : Uxsm_schema.Schema.t -> Uxsm_schema.Schema.element list -> Uxsm_schema.Schema.element
+(** Lowest common ancestor; the schema root for an empty list. *)
+
+val interpretations :
+  ?limit:int -> Uxsm_schema.Schema.t -> string list -> Uxsm_twig.Pattern.t list
+(** Candidate twig patterns for the keyword bag, deduplicated, at most
+    [limit] (default 16). Empty when some term matches nothing. *)
+
+type hit = {
+  pattern : Uxsm_twig.Pattern.t;  (** the interpretation *)
+  answers : (Uxsm_twig.Binding.t list * float) list;  (** consolidated PTQ result *)
+}
+
+val search : ?limit:int -> Ptq.context -> string list -> hit list
+(** Evaluate every interpretation; interpretations whose answers are all
+    empty are dropped. *)

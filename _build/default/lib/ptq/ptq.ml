@@ -1,0 +1,407 @@
+module Schema = Uxsm_schema.Schema
+module Doc = Uxsm_xml.Doc
+module Pattern = Uxsm_twig.Pattern
+module Binding = Uxsm_twig.Binding
+module Matcher = Uxsm_twig.Matcher
+module Structural_join = Uxsm_twig.Structural_join
+module Mapping = Uxsm_mapping.Mapping
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Block = Uxsm_blocktree.Block
+module Block_tree = Uxsm_blocktree.Block_tree
+
+type context = {
+  mset : Mapping_set.t;
+  doc : Doc.t;
+  target_doc : Doc.t;  (* target schema, indexed for resolution *)
+  tree : Block_tree.t option;
+}
+
+let context ?tree ~mset ~doc () =
+  let target_doc = Doc.of_tree (Schema.to_xml_tree (Mapping_set.target mset)) in
+  { mset; doc; target_doc; tree }
+
+let mapping_set ctx = ctx.mset
+let source_doc ctx = ctx.doc
+
+type answer = {
+  mapping_id : int;
+  probability : float;
+  bindings : Binding.t list;
+}
+
+(* Pre-indexed pattern: pre-order node arrays; a subquery rooted at id [q]
+   occupies the contiguous id range [q, q + sizes.(q)). *)
+type indexed = {
+  pattern : Pattern.t;
+  nodes : Pattern.node array;
+  sizes : int array;
+  branch_ids : (Pattern.axis * int) array array;
+  n : int;
+}
+
+let index_pattern (p : Pattern.t) =
+  let nodes = Array.of_list (Pattern.nodes p) in
+  let n = Array.length nodes in
+  let sizes = Array.make n 0 in
+  let branch_ids = Array.make n [||] in
+  let next = ref 0 in
+  let rec go (node : Pattern.node) =
+    let id = !next in
+    incr next;
+    let kids = List.map (fun (a, c) -> (a, go c)) (Pattern.branches node) in
+    branch_ids.(id) <- Array.of_list kids;
+    sizes.(id) <- !next - id;
+    id
+  in
+  ignore (go p.Pattern.root);
+  { pattern = p; nodes; sizes; branch_ids; n }
+
+(* The subquery rooted at pattern node [q], as a standalone pattern. Its
+   local pre-order ids are the global ids shifted by [q]. *)
+let subpattern idx q = { Pattern.axis = Pattern.Descendant; root = idx.nodes.(q) }
+
+let globalize idx q (local : Binding.t) =
+  let g = Binding.unbound idx.n in
+  Array.iteri (fun j v -> if v >= 0 then g.(q + j) <- v) local;
+  g
+
+let sub_resolution idx q (resolution : Resolve.t) = Array.sub resolution q idx.sizes.(q)
+
+(* Rewrite the subquery rooted at [q] through [lookup] and match it on the
+   source document, returning global bindings. *)
+let rewrite_and_match ctx idx q resolution ~at_top ~lookup =
+  let source = Mapping_set.source ctx.mset in
+  let pat = subpattern idx q in
+  let res = sub_resolution idx q resolution in
+  match Rewrite.through ~source ~pattern:pat ~resolution:res ~at_top ~lookup with
+  | None -> []
+  | Some pat_s -> List.map (globalize idx q) (Matcher.matches pat_s ctx.doc)
+
+let lookup_of_mapping m y = Mapping.source_of m y
+
+(* Does mapping [m] cover every element of [resolution]? *)
+let covers m (resolution : Resolve.t) =
+  Array.for_all (fun y -> Mapping.source_of m y <> None) resolution
+
+let resolutions_of ctx pattern = Resolve.against_doc pattern ctx.target_doc
+
+let filter_mappings ctx pattern =
+  let resolutions = resolutions_of ctx pattern in
+  List.filter
+    (fun i ->
+      let m = Mapping_set.mapping ctx.mset i in
+      List.exists (covers m) resolutions)
+    (List.init (Mapping_set.size ctx.mset) Fun.id)
+
+let dedupe_bindings l = List.sort_uniq Binding.compare l
+
+let answers_of_table ctx per_mapping ids =
+  List.map
+    (fun i ->
+      {
+        mapping_id = i;
+        probability = Mapping_set.probability ctx.mset i;
+        bindings =
+          (match Hashtbl.find_opt per_mapping i with
+          | None -> []
+          | Some l -> dedupe_bindings l);
+      })
+    ids
+
+let in_restriction restrict i =
+  match restrict with
+  | None -> true
+  | Some tbl -> Hashtbl.mem tbl i
+
+(* Algorithm 3. *)
+let query_basic_restricted ctx ~restrict pattern =
+  let idx = index_pattern pattern in
+  let resolutions = resolutions_of ctx pattern in
+  let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
+  let relevant = ref [] in
+  for i = Mapping_set.size ctx.mset - 1 downto 0 do
+    let m = Mapping_set.mapping ctx.mset i in
+    let mine = if in_restriction restrict i then List.filter (covers m) resolutions else [] in
+    if mine <> [] then begin
+      relevant := i :: !relevant;
+      let bindings =
+        List.concat_map
+          (fun resolution ->
+            rewrite_and_match ctx idx 0 resolution ~at_top:true ~lookup:(lookup_of_mapping m))
+          mine
+      in
+      Hashtbl.replace per_mapping i bindings
+    end
+  done;
+  answers_of_table ctx per_mapping !relevant
+
+let query_basic ctx pattern = query_basic_restricted ctx ~restrict:None pattern
+
+type stats = {
+  resolutions : int;
+  relevant_mappings : int;
+  blocks_used : int;
+  shared_evaluations : int;
+  direct_evaluations : int;
+  decompositions : int;
+  joins : int;
+}
+
+type stats_acc = {
+  mutable s_blocks_used : int;
+  mutable s_shared : int;
+  mutable s_direct : int;
+  mutable s_decomp : int;
+  mutable s_joins : int;
+}
+
+let fresh_acc () =
+  { s_blocks_used = 0; s_shared = 0; s_direct = 0; s_decomp = 0; s_joins = 0 }
+
+(* Algorithm 4: one subtree evaluation per c-block; decomposition plus
+   stack joins elsewhere. [eval] returns, per mapping id, the bindings of
+   the subquery rooted at [q] (positions unconstrained unless [at_top]). *)
+let eval_with_tree ?acc ctx tree idx resolution ~mids =
+  let bump f =
+    match acc with
+    | Some a -> f a
+    | None -> ()
+  in
+  let source = Mapping_set.source ctx.mset in
+  let mapping i = Mapping_set.mapping ctx.mset i in
+  let rec eval q ~at_top mids : (int, Binding.t list) Hashtbl.t =
+    let out = Hashtbl.create (List.length mids) in
+    let t_elem = resolution.(q) in
+    let blocks = Block_tree.blocks_at tree t_elem in
+    if blocks <> [] then begin
+      (* query_subtree: one evaluation per block, shared by its mappings. *)
+      let remaining = ref mids in
+      List.iter
+        (fun (b : Block.t) ->
+          let mine, rest = List.partition (Block.mem_mapping b) !remaining in
+          remaining := rest;
+          if mine <> [] then begin
+            bump (fun a ->
+                a.s_blocks_used <- a.s_blocks_used + 1;
+                a.s_shared <- a.s_shared + 1);
+            let bindings =
+              rewrite_and_match ctx idx q resolution ~at_top ~lookup:(Block.source_of b)
+            in
+            List.iter (fun i -> Hashtbl.replace out i bindings) mine
+          end)
+        blocks;
+      List.iter
+        (fun i ->
+          bump (fun a -> a.s_direct <- a.s_direct + 1);
+          let bindings =
+            rewrite_and_match ctx idx q resolution ~at_top
+              ~lookup:(lookup_of_mapping (mapping i))
+          in
+          Hashtbl.replace out i bindings)
+        !remaining;
+      out
+    end
+    else if Array.length idx.branch_ids.(q) = 0 then begin
+      (* Leaf subquery: evaluate directly per mapping. *)
+      List.iter
+        (fun i ->
+          bump (fun a -> a.s_direct <- a.s_direct + 1);
+          let bindings =
+            rewrite_and_match ctx idx q resolution ~at_top
+              ~lookup:(lookup_of_mapping (mapping i))
+          in
+          Hashtbl.replace out i bindings)
+        mids;
+      out
+    end
+    else begin
+      (* split_query: root-only subquery q0, then one subquery per branch,
+         joined per mapping with the stack join. *)
+      bump (fun a -> a.s_decomp <- a.s_decomp + 1);
+      let root_value = idx.nodes.(q).Pattern.value in
+      let root_attrs = idx.nodes.(q).Pattern.attrs in
+      let child_tables =
+        Array.map (fun (_, cid) -> (cid, eval cid ~at_top:false mids)) idx.branch_ids.(q)
+      in
+      List.iter
+        (fun i ->
+          let m = mapping i in
+          let x_parent = Mapping.source_of m resolution.(q) in
+          let r0 =
+            match x_parent with
+            | None -> []
+            | Some x ->
+              let pat0 =
+                {
+                  Pattern.axis =
+                    (if at_top && x = Schema.root source then Pattern.Child
+                     else Pattern.Descendant);
+                  root =
+                    {
+                      Pattern.label = Schema.label source x;
+                      anchor = Some (Schema.path_string source x);
+                      value = root_value;
+                      attrs = root_attrs;
+                      preds = [];
+                      next = None;
+                    };
+                }
+              in
+              List.map
+                (fun (local : Binding.t) ->
+                  let g = Binding.unbound idx.n in
+                  g.(q) <- local.(0);
+                  g)
+                (Matcher.matches pat0 ctx.doc)
+          in
+          let join acc (cid, table) =
+            match acc with
+            | [] -> []
+            | _ -> (
+              let rj = try Hashtbl.find table i with Not_found -> [] in
+              match (x_parent, Mapping.source_of m resolution.(cid)) with
+              | Some xp, Some xc -> (
+                match Rewrite.axis_for source ~parent_src:xp ~child_src:xc with
+                | None -> []
+                | Some axis ->
+                  bump (fun a -> a.s_joins <- a.s_joins + 1);
+                  Structural_join.join_bindings ctx.doc ~axis ~left:acc ~left_col:q
+                    ~right:rj ~right_col:cid)
+              | _, _ -> [])
+          in
+          let result = Array.fold_left join r0 child_tables in
+          Hashtbl.replace out i result)
+        mids;
+      out
+    end
+  in
+  eval 0 ~at_top:true mids
+
+let query_tree_restricted ?acc ctx ~restrict pattern =
+  let tree =
+    match ctx.tree with
+    | Some t -> t
+    | None -> invalid_arg "Ptq.query_tree: context has no block tree"
+  in
+  let idx = index_pattern pattern in
+  let resolutions = resolutions_of ctx pattern in
+  let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
+  let relevant = ref [] in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun resolution ->
+      let mids =
+        List.filter
+          (fun i ->
+            in_restriction restrict i && covers (Mapping_set.mapping ctx.mset i) resolution)
+          (List.init (Mapping_set.size ctx.mset) Fun.id)
+      in
+      if mids <> [] then begin
+        let table = eval_with_tree ?acc ctx tree idx resolution ~mids in
+        List.iter
+          (fun i ->
+            if not (Hashtbl.mem seen i) then begin
+              Hashtbl.add seen i ();
+              relevant := i :: !relevant
+            end;
+            let bindings = try Hashtbl.find table i with Not_found -> [] in
+            let prev = try Hashtbl.find per_mapping i with Not_found -> [] in
+            Hashtbl.replace per_mapping i (bindings @ prev))
+          mids
+      end)
+    resolutions;
+  answers_of_table ctx per_mapping (List.sort Int.compare !relevant)
+
+let query_tree ctx pattern = query_tree_restricted ctx ~restrict:None pattern
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let query_topk ctx ~k pattern =
+  if k <= 0 then invalid_arg "Ptq.query_topk: k must be positive";
+  let relevant = filter_mappings ctx pattern in
+  let by_prob =
+    List.sort
+      (fun i j -> Float.compare (Mapping_set.probability ctx.mset j) (Mapping_set.probability ctx.mset i))
+      relevant
+  in
+  let keep = take k by_prob in
+  let keep_set = Hashtbl.create k in
+  List.iter (fun i -> Hashtbl.replace keep_set i ()) keep;
+  match ctx.tree with
+  | Some _ -> query_tree_restricted ctx ~restrict:(Some keep_set) pattern
+  | None -> query_basic_restricted ctx ~restrict:(Some keep_set) pattern
+
+let query ctx pattern =
+  match ctx.tree with
+  | Some _ -> query_tree ctx pattern
+  | None -> query_basic ctx pattern
+
+let marginals answers =
+  let tbl : (Binding.t, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let prev = try Hashtbl.find tbl b with Not_found -> 0.0 in
+          Hashtbl.replace tbl b (prev +. a.probability))
+        a.bindings)
+    answers;
+  Hashtbl.fold (fun b p acc -> (b, p) :: acc) tbl []
+  |> List.sort (fun (b1, p1) (b2, p2) ->
+         match Float.compare p2 p1 with
+         | 0 -> Binding.compare b1 b2
+         | c -> c)
+
+let consolidate answers =
+  let tbl : (Binding.t list, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let prev = try Hashtbl.find tbl a.bindings with Not_found -> 0.0 in
+      Hashtbl.replace tbl a.bindings (prev +. a.probability))
+    answers;
+  Hashtbl.fold (fun b p acc -> (b, p) :: acc) tbl []
+  |> List.sort (fun (_, p1) (_, p2) -> Float.compare p2 p1)
+
+let explain ctx pattern =
+  let n_resolutions = List.length (resolutions_of ctx pattern) in
+  match ctx.tree with
+  | Some _ ->
+    let acc = fresh_acc () in
+    let answers = query_tree_restricted ~acc ctx ~restrict:None pattern in
+    ( {
+        resolutions = n_resolutions;
+        relevant_mappings = List.length answers;
+        blocks_used = acc.s_blocks_used;
+        shared_evaluations = acc.s_shared;
+        direct_evaluations = acc.s_direct;
+        decompositions = acc.s_decomp;
+        joins = acc.s_joins;
+      },
+      answers )
+  | None ->
+    let resolutions = resolutions_of ctx pattern in
+    let answers = query_basic ctx pattern in
+    let direct =
+      List.fold_left
+        (fun n (a : answer) ->
+          let m = Mapping_set.mapping ctx.mset a.mapping_id in
+          n + List.length (List.filter (covers m) resolutions))
+        0 answers
+    in
+    ( {
+        resolutions = n_resolutions;
+        relevant_mappings = List.length answers;
+        blocks_used = 0;
+        shared_evaluations = 0;
+        direct_evaluations = direct;
+        decompositions = 0;
+        joins = 0;
+      },
+      answers )
+
+let binding_texts ctx pattern (b : Binding.t) =
+  let labels = Pattern.labels pattern in
+  List.concat
+    (List.mapi
+       (fun i label -> if b.(i) >= 0 then [ (label, Doc.text ctx.doc b.(i)) ] else [])
+       labels)

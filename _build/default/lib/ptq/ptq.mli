@@ -1,0 +1,93 @@
+(** Probabilistic twig queries (Section IV).
+
+    A PTQ is a twig pattern over the target schema, answered on a document
+    conforming to the source schema, under a set of possible mappings: the
+    result pairs each relevant mapping's matches with the mapping's
+    probability (Definition 4).
+
+    Two evaluators are provided: {!query_basic} (Algorithm 3 — rewrite and
+    match once per mapping) and {!query_tree} (Algorithm 4 — one evaluation
+    per c-block shared by many mappings, recursive decomposition and
+    stack-based structural joins elsewhere). They return identical answers;
+    only speed differs. {!query_topk} evaluates only the k most probable
+    relevant mappings (Definition 5). *)
+
+type context
+
+val context :
+  ?tree:Uxsm_blocktree.Block_tree.t ->
+  mset:Uxsm_mapping.Mapping_set.t ->
+  doc:Uxsm_xml.Doc.t ->
+  unit ->
+  context
+(** [context ~mset ~doc ()] prepares evaluation state: the indexed target
+    schema for query resolution and (optionally) a block tree for
+    Algorithm 4. [doc] must conform to the mapping set's source schema. *)
+
+val mapping_set : context -> Uxsm_mapping.Mapping_set.t
+
+val source_doc : context -> Uxsm_xml.Doc.t
+(** The document the context evaluates queries on. *)
+
+type answer = {
+  mapping_id : int;  (** index into the mapping set *)
+  probability : float;  (** [p_i] *)
+  bindings : Uxsm_twig.Binding.t list;
+      (** [R_i]: matches of the rewritten query in the source document,
+          deduplicated, in document order. May be empty (the mapping is
+          relevant but the pattern does not occur). *)
+}
+
+val filter_mappings : context -> Uxsm_twig.Pattern.t -> int list
+(** Relevant mappings: those with a correspondence for every query node
+    under at least one resolution (Algorithm 3 Step 1). *)
+
+val query_basic : context -> Uxsm_twig.Pattern.t -> answer list
+(** Algorithm 3. Answers in mapping-id order. *)
+
+val query_tree : context -> Uxsm_twig.Pattern.t -> answer list
+(** Algorithm 4; requires the context to hold a block tree (raises
+    [Invalid_argument] otherwise). Answers in mapping-id order. *)
+
+val query_topk : context -> k:int -> Uxsm_twig.Pattern.t -> answer list
+(** Top-k PTQ: evaluates only the [k] most probable relevant mappings, with
+    the block tree when available. *)
+
+val query : context -> Uxsm_twig.Pattern.t -> answer list
+(** {!query_tree} when the context has a block tree, {!query_basic}
+    otherwise. *)
+
+val marginals : answer list -> (Uxsm_twig.Binding.t * float) list
+(** Per-match marginal probabilities: each distinct document match with the
+    total probability of the mappings whose answer set contains it, sorted
+    by decreasing probability. (The consolidated view groups whole answer
+    {e sets}; this groups individual matches.) *)
+
+val consolidate : answer list -> (Uxsm_twig.Binding.t list * float) list
+(** Merge answers with identical match sets, summing probabilities — the
+    presentation of the introduction's example
+    [{("Cathy", 0.3), ("Bob", 0.3), ("Alice", 0.2)}]. Sorted by
+    decreasing probability. *)
+
+val binding_texts :
+  context -> Uxsm_twig.Pattern.t -> Uxsm_twig.Binding.t -> (string * string) list
+(** For presentation: each query node's label paired with the text content
+    of the document node it matched. *)
+
+(** Evaluation statistics of one {!query_tree} run — how much work the
+    block tree saved (its "EXPLAIN"). *)
+type stats = {
+  resolutions : int;  (** schema resolutions of the query *)
+  relevant_mappings : int;  (** mappings surviving filter_mappings *)
+  blocks_used : int;  (** c-blocks whose mapping set intersected the run *)
+  shared_evaluations : int;
+      (** twig evaluations executed once per block and reused *)
+  direct_evaluations : int;
+      (** per-mapping rewrite+match executions (subqueries included) *)
+  decompositions : int;  (** split_query events (no block at the node) *)
+  joins : int;  (** stack-join invocations *)
+}
+
+val explain : context -> Uxsm_twig.Pattern.t -> stats * answer list
+(** Run {!query_tree} (or {!query_basic} without a tree) and report what it
+    did. The answers equal the plain query's. *)

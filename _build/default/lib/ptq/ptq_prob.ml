@@ -1,0 +1,42 @@
+module Prob_doc = Uxsm_xml.Prob_doc
+module Binding = Uxsm_twig.Binding
+
+type answer = {
+  mapping_id : int;
+  mapping_prob : float;
+  matches : (Binding.t * float) list;
+  expected_matches : float;
+}
+
+let bound_nodes (b : Binding.t) =
+  Array.to_list b |> List.filter (fun v -> v >= 0)
+
+let query ctx pdoc pattern =
+  List.map
+    (fun (a : Ptq.answer) ->
+      let matches =
+        List.map (fun b -> (b, Prob_doc.coexistence_prob pdoc (bound_nodes b))) a.bindings
+      in
+      {
+        mapping_id = a.mapping_id;
+        mapping_prob = a.probability;
+        matches;
+        expected_matches = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 matches;
+      })
+    (Ptq.query ctx pattern)
+
+let match_marginals ctx pdoc pattern =
+  let tbl : (Binding.t, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (b, p_doc) ->
+          let prev = try Hashtbl.find tbl b with Not_found -> 0.0 in
+          Hashtbl.replace tbl b (prev +. (a.mapping_prob *. p_doc)))
+        a.matches)
+    (query ctx pdoc pattern);
+  Hashtbl.fold (fun b p acc -> (b, p) :: acc) tbl []
+  |> List.sort (fun (b1, p1) (b2, p2) ->
+         match Float.compare p2 p1 with
+         | 0 -> Binding.compare b1 b2
+         | c -> c)

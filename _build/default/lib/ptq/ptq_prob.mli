@@ -1,0 +1,29 @@
+(** PTQ over uncertain documents: the combination of an uncertain schema
+    matching (possible mappings) with a probabilistic source document
+    ({!Uxsm_xml.Prob_doc}) — a future-work item of the paper's conclusion.
+
+    The two uncertainty sources are independent: the mapping distribution
+    models which schema reading is right, the document distribution models
+    which elements exist. For mapping [m_i] (probability [p_i]) and a match
+    [b] of the rewritten query, the joint probability that [b] is an answer
+    is [p_i ·] {!Uxsm_xml.Prob_doc.coexistence_prob}[ d (nodes of b)]. *)
+
+type answer = {
+  mapping_id : int;
+  mapping_prob : float;  (** [p_i] *)
+  matches : (Uxsm_twig.Binding.t * float) list;
+      (** each match with its document-side existence probability *)
+  expected_matches : float;
+      (** expected number of surviving matches under this mapping *)
+}
+
+val query : Ptq.context -> Uxsm_xml.Prob_doc.t -> Uxsm_twig.Pattern.t -> answer list
+(** Evaluate over every relevant mapping. The probabilistic document must
+    wrap the context's document (physical equality is not required — the
+    node ids must agree; it is the caller's responsibility). *)
+
+val match_marginals :
+  Ptq.context -> Uxsm_xml.Prob_doc.t -> Uxsm_twig.Pattern.t ->
+  (Uxsm_twig.Binding.t * float) list
+(** Joint marginal per distinct match: [Σ_i p_i · P(b exists)] over the
+    mappings whose answers contain [b]; sorted by decreasing probability. *)

@@ -1,0 +1,20 @@
+module Pattern = Uxsm_twig.Pattern
+module Matcher = Uxsm_twig.Matcher
+
+type t = Uxsm_twig.Binding.t
+
+let rec strip_node (n : Pattern.node) =
+  {
+    n with
+    Pattern.value = None;
+    attrs = [];
+    preds = List.map (fun (a, c) -> (a, strip_node c)) n.Pattern.preds;
+    next = Option.map (fun (a, c) -> (a, strip_node c)) n.Pattern.next;
+  }
+
+let strip (p : Pattern.t) = { p with Pattern.root = strip_node p.Pattern.root }
+
+let against_doc p schema_doc = Matcher.matches (strip p) schema_doc
+
+let against p schema =
+  against_doc p (Uxsm_xml.Doc.of_tree (Uxsm_schema.Schema.to_xml_tree schema))

@@ -1,0 +1,19 @@
+(** Resolution of a twig pattern against the target schema.
+
+    A target query names elements by label, which may be ambiguous (e.g. two
+    [CONTACT_NAME] elements in Figure 1(b)). A {e resolution} fixes one
+    target schema element per query node, consistent with the query's
+    structure. PTQ evaluation unions the per-mapping results over all
+    resolutions. Text-equality predicates are ignored during resolution
+    (they constrain document values, not schema structure). *)
+
+type t = Uxsm_twig.Binding.t
+(** Query-node id (pre-order) → target schema element. *)
+
+val against : Uxsm_twig.Pattern.t -> Uxsm_schema.Schema.t -> t list
+(** All resolutions, in document order of the root element. *)
+
+val against_doc : Uxsm_twig.Pattern.t -> Uxsm_xml.Doc.t -> t list
+(** Same, but against a pre-indexed schema ({!Uxsm_schema.Schema.to_xml_tree}
+    passed through {!Uxsm_xml.Doc.of_tree}); avoids re-indexing the schema on
+    every query. *)

@@ -1,0 +1,61 @@
+module Schema = Uxsm_schema.Schema
+module Pattern = Uxsm_twig.Pattern
+
+let relation schema a b =
+  if Schema.parent schema b = Some a then `Parent
+  else if Schema.is_ancestor schema a b then `Ancestor
+  else `Unrelated
+
+let axis_for schema ~parent_src ~child_src =
+  match relation schema parent_src child_src with
+  | `Parent -> Some Pattern.Child
+  | `Ancestor -> Some Pattern.Descendant
+  | `Unrelated -> None
+
+exception Unrelated
+
+let through ~source ~pattern ~resolution ~at_top ~lookup =
+  let n = Pattern.size pattern in
+  (* Pass 1: the source element of every query node under the mapping. *)
+  let src = Array.make n (-1) in
+  let all_mapped = ref true in
+  for id = 0 to n - 1 do
+    match lookup resolution.(id) with
+    | Some x -> src.(id) <- x
+    | None -> all_mapped := false
+  done;
+  if not !all_mapped then None
+  else begin
+    (* Pass 2: rebuild the pattern with source labels and re-derived axes,
+       consuming ids in the same pre-order as Pattern.nodes/Resolve. *)
+    let next = ref 0 in
+    let rec go (node : Pattern.node) : Pattern.node =
+      let id = !next in
+      incr next;
+      let x = src.(id) in
+      let translate (_old_axis, c) =
+        let cid = !next in
+        let c' = go c in
+        match axis_for source ~parent_src:x ~child_src:src.(cid) with
+        | Some axis -> (axis, c')
+        | None -> raise Unrelated
+      in
+      let preds = List.map translate node.Pattern.preds in
+      let next_branch = Option.map translate node.Pattern.next in
+      {
+        Pattern.label = Schema.label source x;
+        anchor = Some (Schema.path_string source x);
+        value = node.Pattern.value;
+        attrs = node.Pattern.attrs;
+        preds;
+        next = next_branch;
+      }
+    in
+    match go pattern.Pattern.root with
+    | exception Unrelated -> None
+    | root ->
+      let axis =
+        if at_top && src.(0) = Schema.root source then Pattern.Child else Pattern.Descendant
+      in
+      Some { Pattern.axis; root }
+  end

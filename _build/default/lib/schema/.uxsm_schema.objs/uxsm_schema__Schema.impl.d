@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Array Format Fun Hashtbl List Printf String Uxsm_xml

@@ -1,0 +1,1 @@
+lib/schema/xsd.ml: Hashtbl List Printf Schema String Uxsm_xml

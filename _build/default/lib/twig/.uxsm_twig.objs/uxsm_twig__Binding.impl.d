@@ -1,0 +1,1 @@
+lib/twig/binding.ml: Array Format Stdlib String

@@ -1,0 +1,1 @@
+lib/twig/binding.mli: Format Uxsm_xml

@@ -1,0 +1,1 @@
+lib/twig/join_matcher.ml: Array Binding Fun List Pattern String Structural_join Uxsm_xml

@@ -1,0 +1,1 @@
+lib/twig/join_matcher.mli: Binding Pattern Uxsm_xml

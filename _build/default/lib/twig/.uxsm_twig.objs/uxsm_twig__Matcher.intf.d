@@ -1,0 +1,1 @@
+lib/twig/matcher.mli: Binding Pattern Uxsm_xml

@@ -1,0 +1,1 @@
+lib/twig/pattern.ml: Buffer Format List Option String

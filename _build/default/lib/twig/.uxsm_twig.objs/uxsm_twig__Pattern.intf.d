@@ -1,0 +1,1 @@
+lib/twig/pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/twig/pattern_parser.ml: List Pattern Printf String

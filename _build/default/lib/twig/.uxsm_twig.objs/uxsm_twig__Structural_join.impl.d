@@ -1,0 +1,1 @@
+lib/twig/structural_join.ml: Array Binding Hashtbl Int List Pattern Uxsm_xml

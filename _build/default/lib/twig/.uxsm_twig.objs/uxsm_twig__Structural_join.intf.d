@@ -1,0 +1,1 @@
+lib/twig/structural_join.mli: Binding Pattern Uxsm_xml

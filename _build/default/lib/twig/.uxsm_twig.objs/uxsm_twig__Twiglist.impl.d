@@ -1,0 +1,1 @@
+lib/twig/twiglist.ml: Array Binding Fun Hashtbl List Pattern String Uxsm_xml

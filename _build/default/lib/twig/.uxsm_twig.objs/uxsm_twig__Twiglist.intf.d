@@ -1,0 +1,1 @@
+lib/twig/twiglist.mli: Binding Pattern Uxsm_xml

@@ -1,0 +1,20 @@
+type t = int array
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let root_node (b : t) = b.(0)
+
+let merge a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Binding.merge: size mismatch";
+  Array.init n (fun i ->
+      match (a.(i), b.(i)) with
+      | v, -1 -> v
+      | -1, v -> v
+      | _, _ -> invalid_arg "Binding.merge: overlapping bindings")
+
+let unbound l = Array.make l (-1)
+
+let pp fmt (b : t) =
+  Format.fprintf fmt "[%s]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int b)))

@@ -1,0 +1,16 @@
+(** A second twig evaluator built entirely from binary structural joins —
+    the classical join-plan approach of Al-Khalifa et al. that the paper's
+    [stack_join] primitive comes from.
+
+    Each query node's candidate list (by label, anchor and value predicate)
+    is joined bottom-up along the pattern's edges with the stack-based
+    structural join. Produces exactly {!Matcher.matches} (a tested
+    property); exists both as an algorithmic cross-check and because its
+    cost profile differs: {!Matcher} enumerates top-down with memoization
+    (good when the root is selective), this engine is join-at-a-time (good
+    when intermediate results are small). *)
+
+val matches : Pattern.t -> Uxsm_xml.Doc.t -> Binding.t list
+(** Same contract as {!Matcher.matches}. *)
+
+val count : Pattern.t -> Uxsm_xml.Doc.t -> int

@@ -1,0 +1,116 @@
+module Doc = Uxsm_xml.Doc
+
+type indexed = {
+  labels : string array;
+  anchors : string option array;
+  values : string option array;
+  attr_preds : (string * string) list array;
+  branches : (Pattern.axis * int) array array;
+  n : int;
+}
+
+let index (p : Pattern.t) =
+  let nodes = Pattern.nodes p in
+  let n = List.length nodes in
+  let labels = Array.make n "" in
+  let anchors = Array.make n None in
+  let values = Array.make n None in
+  let attr_preds = Array.make n [] in
+  let branches = Array.make n [||] in
+  (* Assign pre-order ids exactly as Pattern.nodes does. *)
+  let next = ref 0 in
+  let rec go (node : Pattern.node) =
+    let id = !next in
+    incr next;
+    labels.(id) <- node.Pattern.label;
+    anchors.(id) <- node.Pattern.anchor;
+    values.(id) <- node.Pattern.value;
+    attr_preds.(id) <- node.Pattern.attrs;
+    let kids = List.map (fun (a, c) -> (a, go c)) (Pattern.branches node) in
+    branches.(id) <- Array.of_list kids;
+    id
+  in
+  ignore (go p.Pattern.root);
+  { labels; anchors; values; attr_preds; branches; n }
+
+let candidates doc axis v label anchor =
+  match (anchor, axis) with
+  | Some path, Pattern.Child ->
+    List.filter (fun u -> Doc.is_parent doc v u) (Doc.nodes_with_path doc path)
+  | Some path, Pattern.Descendant ->
+    let e = Doc.subtree_end doc v in
+    List.filter (fun u -> u > v && u <= e) (Doc.nodes_with_path doc path)
+  | None, Pattern.Child ->
+    if String.equal label Pattern.wildcard then Doc.children doc v
+    else List.filter (fun u -> String.equal (Doc.label doc u) label) (Doc.children doc v)
+  | None, Pattern.Descendant ->
+    let e = Doc.subtree_end doc v in
+    if String.equal label Pattern.wildcard then List.init (e - v) (fun i -> v + 1 + i)
+    else List.filter (fun u -> u > v && u <= e) (Doc.nodes_with_label doc label)
+
+(* Enumerate the bindings of the pattern subtree rooted at [pid] when it is
+   bound to document node [v]; memoized on (pid, v). *)
+let enum_with idx doc =
+  let memo : (int * int, Binding.t list) Hashtbl.t = Hashtbl.create 256 in
+  let rec enum pid v =
+    match Hashtbl.find_opt memo (pid, v) with
+    | Some r -> r
+    | None ->
+      let r = compute pid v in
+      Hashtbl.add memo (pid, v) r;
+      r
+  and compute pid v =
+    if
+      (not (String.equal idx.labels.(pid) Pattern.wildcard))
+      && not (String.equal idx.labels.(pid) (Doc.label doc v))
+    then []
+    else if
+      not
+        (List.for_all
+           (fun (k, want) -> Doc.attr doc v k = Some want)
+           idx.attr_preds.(pid))
+    then []
+    else if
+      match idx.anchors.(pid) with
+      | Some path -> not (String.equal path (String.concat "." (Doc.path doc v)))
+      | None -> false
+    then []
+    else if
+      match idx.values.(pid) with
+      | Some value -> not (String.equal (Doc.text doc v) value)
+      | None -> false
+    then []
+    else begin
+      let base = Binding.unbound idx.n in
+      base.(pid) <- v;
+      let step acc (axis, cid) =
+        match acc with
+        | [] -> []
+        | _ ->
+          let subs =
+            List.concat_map (enum cid)
+              (candidates doc axis v idx.labels.(cid) idx.anchors.(cid))
+          in
+          if subs = [] then []
+          else List.concat_map (fun a -> List.map (Binding.merge a) subs) acc
+      in
+      Array.fold_left step [ base ] idx.branches.(pid)
+    end
+  in
+  enum
+
+let root_candidates (p : Pattern.t) doc =
+  match (p.Pattern.root.Pattern.anchor, p.Pattern.axis) with
+  | Some path, _ -> Doc.nodes_with_path doc path
+  | None, Pattern.Child -> [ Doc.root doc ]
+  | None, Pattern.Descendant ->
+    if Pattern.is_wildcard p.Pattern.root then List.init (Doc.size doc) Fun.id
+    else Doc.nodes_with_label doc p.Pattern.root.Pattern.label
+
+let matches p doc =
+  let idx = index p in
+  let enum = enum_with idx doc in
+  List.concat_map (enum 0) (root_candidates p doc) |> List.sort Binding.compare
+
+let count p doc = List.length (matches p doc)
+let exists p doc = matches p doc <> []

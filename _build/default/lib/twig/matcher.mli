@@ -1,0 +1,17 @@
+(** Twig pattern matching over indexed documents.
+
+    A match binds every pattern node to a document element such that labels
+    and text predicates hold and the structural relationships ([/], [//])
+    are satisfied (the paper's Section IV-A definition). The engine is a
+    memoized top-down enumerator over the label-indexed document; it is the
+    [match(d, q_S)] primitive of Algorithms 3–4. *)
+
+val matches : Pattern.t -> Uxsm_xml.Doc.t -> Binding.t list
+(** All matches, in document order of the root binding (then lexicographic).
+    With [Pattern.axis = Child] the root step binds only the document root;
+    with [Descendant] it binds any element with the right label. *)
+
+val count : Pattern.t -> Uxsm_xml.Doc.t -> int
+(** Number of matches (no binding materialization). *)
+
+val exists : Pattern.t -> Uxsm_xml.Doc.t -> bool

@@ -1,0 +1,120 @@
+exception Fail of string
+
+type state = {
+  input : string;
+  mutable pos : int;
+}
+
+let fail st msg = raise (Fail (Printf.sprintf "at offset %d: %s" st.pos msg))
+let eof st = st.pos >= String.length st.input
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let eat st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '-'
+
+let parse_name st =
+  if looking_at st "*" then begin
+    eat st "*";
+    Pattern.wildcard
+  end
+  else begin
+    let start = st.pos in
+    while (not (eof st)) && is_name_char (peek st) do
+      st.pos <- st.pos + 1
+    done;
+    if st.pos = start then fail st "expected an element name";
+    String.sub st.input start (st.pos - start)
+  end
+
+let parse_axis st =
+  if looking_at st "//" then begin
+    eat st "//";
+    Some Pattern.Descendant
+  end
+  else if looking_at st "/" then begin
+    eat st "/";
+    Some Pattern.Child
+  end
+  else None
+
+let parse_quoted st =
+  eat st "\"";
+  let start = st.pos in
+  while (not (eof st)) && peek st <> '"' do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.input start (st.pos - start) in
+  eat st "\"";
+  text
+
+(* step ::= name ("=" quoted)? pred*  followed by an optional axis chain,
+   which the caller decides how to attach. *)
+let rec parse_chain st : Pattern.node =
+  let label = parse_name st in
+  let value =
+    if looking_at st "=" then begin
+      eat st "=";
+      Some (parse_quoted st)
+    end
+    else None
+  in
+  let preds = ref [] in
+  let attrs = ref [] in
+  while looking_at st "[" do
+    if looking_at st "[@" then begin
+      eat st "[@";
+      let key = parse_name st in
+      eat st "=";
+      let v = parse_quoted st in
+      eat st "]";
+      attrs := (key, v) :: !attrs
+    end
+    else preds := parse_pred st :: !preds
+  done;
+  let next =
+    match parse_axis st with
+    | None -> None
+    | Some a -> Some (a, parse_chain st)
+  in
+  { Pattern.label; anchor = None; value; attrs = List.rev !attrs; preds = List.rev !preds; next }
+
+and parse_pred st : Pattern.axis * Pattern.node =
+  eat st "[";
+  eat st ".";
+  let branch =
+    match parse_axis st with
+    | Some a -> (a, parse_chain st)
+    | None ->
+      (* [.="text"] — a value predicate on the current node is expressed as
+         a self branch; we reject it here because the grammar attaches text
+         predicates directly to steps (City="HK"). *)
+      fail st "expected '/' or '//' after '.'"
+  in
+  eat st "]";
+  branch
+
+let parse_exn input =
+  if String.trim input <> input || input = "" then invalid_arg "Pattern_parser.parse_exn";
+  let st = { input; pos = 0 } in
+  let axis =
+    match parse_axis st with
+    | Some Pattern.Descendant -> Pattern.Descendant
+    | Some Pattern.Child | None -> Pattern.Child
+  in
+  let root = parse_chain st in
+  if not (eof st) then fail st "trailing characters after query";
+  { Pattern.axis; root }
+
+let parse input =
+  match parse_exn input with
+  | p -> Ok p
+  | exception Fail msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

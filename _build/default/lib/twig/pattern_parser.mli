@@ -1,0 +1,14 @@
+(** Parser for the twig query syntax of Table III.
+
+    Grammar (whitespace-free):
+    {v
+      query  ::= ("/" | "//")? step ( ("/" | "//") step )*
+      step   ::= name ("=" '"' text '"')? pred*
+      pred   ::= "[" "." ( ("/" | "//") step )+ "]"
+               | "[" "." "=" '"' text '"' "]"
+    v}
+    A leading [//] makes the root step bind anywhere; otherwise the root
+    step is absolute (binds the document root). *)
+
+val parse : string -> (Pattern.t, string) result
+val parse_exn : string -> Pattern.t

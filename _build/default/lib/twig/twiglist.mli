@@ -1,0 +1,17 @@
+(** TwigList-style holistic twig matching (Qin, Yu, Ding, DASFAA 2007 —
+    the paper's [9], which its [match(d, q_S)] primitive builds on).
+
+    All candidate streams are scanned once in document order with a stack
+    of open elements; each query node accumulates a {e list} of surviving
+    candidates, and every list entry keeps, per query branch, the interval
+    of child-list entries that lie inside its subtree. Matches are then
+    enumerated directly from the interval structure. Compared to the
+    memoized top-down {!Matcher} and the join-plan {!Join_matcher}, this
+    engine does one pass over the candidates regardless of query shape.
+
+    Produces exactly {!Matcher.matches} (a tested property). *)
+
+val matches : Pattern.t -> Uxsm_xml.Doc.t -> Binding.t list
+(** Same contract as {!Matcher.matches}. *)
+
+val count : Pattern.t -> Uxsm_xml.Doc.t -> int

@@ -1,0 +1,19 @@
+(** Mutable binary min-heap with [float] priorities.
+
+    Used by the Dijkstra augmentation inside the assignment solver and by
+    the top-h merge of the partitioning algorithm. Decrease-key is handled
+    by lazy deletion: stale entries are skipped at pop time. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry. *)
+
+val peek : 'a t -> (float * 'a) option

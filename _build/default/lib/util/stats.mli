@@ -1,0 +1,18 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank on the sorted
+    values. Raises [Invalid_argument] on the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] triples of equal-width
+    bins spanning the data range. *)

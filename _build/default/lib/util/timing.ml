@@ -1,0 +1,27 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let t1 = Unix.gettimeofday () in
+  (x, t1 -. t0)
+
+let time_n ?(warmup = 1) n f =
+  if n <= 0 then invalid_arg "Timing.time_n: n must be positive";
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    ignore (f ())
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) /. float_of_int n
+
+let repeat_until ~min_runs ~min_seconds f =
+  let t0 = Unix.gettimeofday () in
+  let rec loop runs =
+    ignore (f ());
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if runs + 1 >= min_runs && elapsed >= min_seconds then elapsed /. float_of_int (runs + 1)
+    else loop (runs + 1)
+  in
+  loop 0

@@ -1,0 +1,1 @@
+lib/workload/dataset.ml: Hashtbl List Standards String Uxsm_mapping Uxsm_matcher

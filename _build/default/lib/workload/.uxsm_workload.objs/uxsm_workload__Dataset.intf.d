@@ -1,0 +1,1 @@
+lib/workload/dataset.mli: Standards Uxsm_mapping Uxsm_matcher

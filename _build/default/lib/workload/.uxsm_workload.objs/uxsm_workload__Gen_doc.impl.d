@@ -1,0 +1,1 @@
+lib/workload/gen_doc.ml: Array Int List Printf String Uxsm_matcher Uxsm_schema Uxsm_util Uxsm_xml Vocab

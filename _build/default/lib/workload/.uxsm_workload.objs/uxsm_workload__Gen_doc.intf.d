@@ -1,0 +1,1 @@
+lib/workload/gen_doc.mli: Uxsm_schema Uxsm_util Uxsm_xml

@@ -1,0 +1,1 @@
+lib/workload/relational.ml: Array List Uxsm_matcher Uxsm_schema Uxsm_util Vocab

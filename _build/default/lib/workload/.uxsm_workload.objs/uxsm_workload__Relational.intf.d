@@ -1,0 +1,1 @@
+lib/workload/relational.mli: Uxsm_mapping Uxsm_schema

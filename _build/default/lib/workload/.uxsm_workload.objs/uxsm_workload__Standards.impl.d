@@ -1,0 +1,1 @@
+lib/workload/standards.ml: Hashtbl List Printf String Uxsm_schema Uxsm_util Vocab

@@ -1,0 +1,1 @@
+lib/workload/standards.mli: Uxsm_schema

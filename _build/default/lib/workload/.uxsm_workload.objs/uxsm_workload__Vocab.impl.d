@@ -1,0 +1,1 @@
+lib/workload/vocab.ml: Array Char List String Uxsm_util

@@ -1,0 +1,35 @@
+(** The ten schema-matching datasets of Table II.
+
+    Each dataset is a (source style, target style, COMA++ option, capacity)
+    tuple; {!matching} generates both schemas and runs the matcher tuned to
+    the paper's correspondence count. The paper's measured o-ratios are
+    carried for comparison in the experiment reports. *)
+
+type t = {
+  id : string;  (** "D1" .. "D10" *)
+  source : Standards.style;
+  target : Standards.style;
+  strategy : Uxsm_matcher.Coma.strategy;  (** Table II's "opt": c / f *)
+  capacity : int;  (** Table II's "Cap." *)
+  paper_o_ratio : float;  (** Table II's measured o-ratio *)
+}
+
+val all : t list
+(** D1..D10 in order. *)
+
+val find : string -> t option
+
+val d7 : t
+(** The paper's default analysis dataset (XCBL → Apertum, capacity 226). *)
+
+val matching : ?seed:int -> t -> Uxsm_mapping.Matching.t
+(** Generate the dataset's matching (memoized per [(id, seed)] — schema
+    generation is cheap but XCBL-sized matcher runs are not). *)
+
+val mapping_set :
+  ?seed:int ->
+  ?method_:Uxsm_mapping.Mapping_set.method_ ->
+  h:int ->
+  t ->
+  Uxsm_mapping.Mapping_set.t
+(** The dataset's top-h possible mappings (memoized like {!matching}). *)

@@ -1,0 +1,24 @@
+let sources =
+  [
+    ("Q1", "Order/DeliverTo/Address[./City][./Country]/Street");
+    ("Q2", "Order/DeliverTo/Contact/EMail");
+    ("Q3", "Order/DeliverTo[./Address/City]/Contact/EMail");
+    ("Q4", "Order/POLine[./LineNo]//UnitPrice");
+    ("Q5", "Order/POLine[./LineNo][.//UnitPrice]/Quantity");
+    ("Q6", "Order/POLine[./BuyerPartID][./LineNo][.//UnitPrice]/Quantity");
+    ("Q7", "Order[./DeliverTo//Street]/POLine[.//BuyerPartID][.//UnitPrice]/Quantity");
+    ("Q8", "Order[./DeliverTo[.//EMail]//Street]/POLine[.//UnitPrice]/Quantity");
+    ("Q9", "Order[./Buyer/Contact]/POLine[.//BuyerPartID]/Quantity");
+    ("Q10", "Order[./Buyer/Contact][./DeliverTo//City]//BuyerPartID");
+  ]
+
+let table3 =
+  List.map (fun (id, src) -> (id, Uxsm_twig.Pattern_parser.parse_exn src)) sources
+
+let q i =
+  match List.nth_opt table3 (i - 1) with
+  | Some (_, p) -> p
+  | None -> invalid_arg "Queries.q: expected 1..10"
+
+let q7 = q 7
+let q10 = q 10

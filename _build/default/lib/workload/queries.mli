@@ -1,0 +1,18 @@
+(** The ten PTQ workload queries of Table III, posed against the Apertum
+    target schema of dataset D7.
+
+    Per the paper's footnote 3, the abbreviations in the table are expanded
+    — [BPID] to [BuyerPartID] and [UP] to [UnitPrice] — and the
+    [LineNO]/[\[//UP\]] typos of Q6 are normalized to [LineNo]/[\[.//UP\]]. *)
+
+val table3 : (string * Uxsm_twig.Pattern.t) list
+(** [("Q1", pattern); ...; ("Q10", pattern)]. *)
+
+val q : int -> Uxsm_twig.Pattern.t
+(** [q 1] .. [q 10]; raises [Invalid_argument] out of range. *)
+
+val q7 : Uxsm_twig.Pattern.t
+(** The starred default query of Table III. *)
+
+val q10 : Uxsm_twig.Pattern.t
+(** The query used for the parameter sweeps of Figure 10(b)-(d). *)

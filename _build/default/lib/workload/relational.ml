@@ -1,0 +1,42 @@
+module Schema = Uxsm_schema.Schema
+module Prng = Uxsm_util.Prng
+
+let table_concepts =
+  [|
+    ([ "order" ], [ [ "order"; "id" ]; [ "order"; "date" ]; [ "buyer"; "id" ]; [ "total"; "amount" ]; [ "currency" ]; [ "status" ] ]);
+    ([ "buyer" ], [ [ "buyer"; "id" ]; [ "name" ]; [ "email" ]; [ "phone" ]; [ "city" ]; [ "country" ] ]);
+    ([ "seller" ], [ [ "seller"; "id" ]; [ "name" ]; [ "email" ]; [ "city" ]; [ "rate" ] ]);
+    ([ "order"; "line" ], [ [ "line"; "id" ]; [ "order"; "id" ]; [ "part"; "id" ]; [ "quantity" ]; [ "unit"; "price" ]; [ "discount" ] ]);
+    ([ "part" ], [ [ "part"; "id" ]; [ "name" ]; [ "description" ]; [ "weight" ]; [ "price" ] ]);
+    ([ "invoice" ], [ [ "invoice"; "id" ]; [ "order"; "id" ]; [ "amount" ]; [ "due"; "date" ]; [ "terms" ] ]);
+    ([ "delivery" ], [ [ "delivery"; "id" ]; [ "order"; "id" ]; [ "street" ]; [ "city" ]; [ "zip" ]; [ "country" ]; [ "date" ] ]);
+    ([ "payment" ], [ [ "payment"; "id" ]; [ "invoice"; "id" ]; [ "method" ]; [ "amount" ]; [ "date" ] ]);
+    ([ "tax" ], [ [ "tax"; "id" ]; [ "category" ]; [ "rate" ]; [ "amount" ] ]);
+    ([ "warehouse" ], [ [ "warehouse"; "id" ]; [ "location" ]; [ "region" ]; [ "capacity" ] ]);
+    ([ "contract" ], [ [ "contract"; "id" ]; [ "seller"; "id" ]; [ "terms" ]; [ "start"; "date" ]; [ "end"; "date" ] ]);
+    ([ "carrier" ], [ [ "carrier"; "id" ]; [ "name" ]; [ "phone" ]; [ "rate" ] ]);
+  |]
+
+let render variant tokens =
+  Vocab.render Vocab.Camel (List.map (Vocab.pick_synonym ~variant) tokens)
+
+let generate ?(seed = 42) ?(tables = 12) ?(columns = 8) ~variant ~name () =
+  let prng = Prng.create (seed + variant) in
+  let n_tables = min tables (Array.length table_concepts) in
+  let table i =
+    let table_tokens, cols = table_concepts.(i) in
+    let keep = List.filteri (fun j _ -> j < columns) cols in
+    (* drop a random column now and then so the two sides differ *)
+    let keep =
+      List.filter (fun _ -> Prng.int prng 8 <> 0) keep
+      |> fun l -> if l = [] then [ List.hd cols ] else l
+    in
+    Schema.spec (render variant table_tokens)
+      (List.map (fun c -> Schema.spec (render variant c) []) keep)
+  in
+  Schema.of_spec (Schema.spec name (List.init n_tables table))
+
+let matching ?(seed = 42) ?(tables = 12) ?(columns = 8) () =
+  let source = generate ~seed ~tables ~columns ~variant:1 ~name:"SourceDB" () in
+  let target = generate ~seed:(seed + 1) ~tables ~columns ~variant:2 ~name:"TargetDB" () in
+  Uxsm_matcher.Coma.run ~source ~target ()

@@ -1,0 +1,324 @@
+module Schema = Uxsm_schema.Schema
+module Prng = Uxsm_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* The shared purchase-order concept tree                              *)
+(* ------------------------------------------------------------------ *)
+
+type concept = {
+  key : string;
+  tokens : string list;
+  repeatable : bool;
+  protected : bool;  (* survives pruning in every style *)
+  rich_only : bool;  (* only instantiated by rich styles (XCBL, OpenTrans) *)
+  kids : concept list;
+}
+
+let c ?(repeatable = false) ?(protected = false) ?(rich_only = false) key tokens kids =
+  { key; tokens; repeatable; protected; rich_only; kids }
+
+let contact_block ?(rich_only = false) ?(minimal = false) ?(suffix = "") prefix ~protected =
+  let key part = prefix ^ ".contact" ^ suffix ^ "." ^ part in
+  let full_kids =
+    [
+      c ~rich_only (key "name") [ "name" ] [];
+      c ~rich_only (key "phone") [ "phone" ] [];
+      c ~protected ~rich_only (key "email") [ "email" ] [];
+    ]
+  in
+  let kids = if minimal then [ c ~protected ~rich_only (key "email") [ "email" ] [] ] else full_kids in
+  c ~protected ~rich_only (prefix ^ ".contact" ^ suffix) [ "contact" ] kids
+
+let address_block prefix ~protected =
+  c ~protected (prefix ^ ".address") [ "address" ]
+    [
+      c ~protected (prefix ^ ".address.street") [ "street" ] [];
+      (* Real standards carry second address/contact lines; these exist only
+         in the rich styles and tie exactly with their primary siblings. *)
+      c ~rich_only:true (prefix ^ ".address.street2") [ "street" ] [];
+      c ~protected (prefix ^ ".address.city") [ "city" ] [];
+      c (prefix ^ ".address.zip") [ "zip" ] [];
+      c ~protected (prefix ^ ".address.country") [ "country" ] [];
+      c (prefix ^ ".address.region") [ "region" ] [];
+    ]
+
+let party key tokens ~protected =
+  c ~protected key tokens
+    [
+      contact_block key ~protected;
+      contact_block ~rich_only:true ~minimal:true ~suffix:"2" key ~protected:false;
+      address_block key ~protected;
+    ]
+
+let concept_tree =
+  c ~protected:true "order" [ "order" ]
+    [
+      c "header" [ "header" ]
+        [
+          c "header.order_id" [ "order"; "id" ] [];
+          c "header.order_date" [ "order"; "date" ] [];
+          c "header.currency" [ "currency" ] [];
+        ];
+      party "buyer" [ "buyer" ] ~protected:true;
+      party "seller" [ "seller" ] ~protected:false;
+      party "deliver_to" [ "deliver"; "to" ] ~protected:true;
+      party "bill_to" [ "invoice"; "to" ] ~protected:false;
+      c "payment" [ "payment" ]
+        [
+          c "payment.terms" [ "terms" ] [];
+          c "payment.method" [ "method" ] [];
+          c "payment.due" [ "due"; "date" ] [];
+        ];
+      c "tax" [ "tax" ]
+        [
+          c "tax.rate" [ "rate" ] [];
+          c "tax.amount" [ "amount" ] [];
+          c "tax.category" [ "category" ] [];
+        ];
+      c ~repeatable:true ~protected:true "po_line" [ "order"; "line" ]
+        [
+          c ~protected:true "po_line.line_no" [ "line"; "id" ] [];
+          c ~protected:true "po_line.buyer_part_id" [ "buyer"; "part"; "id" ] [];
+          c "po_line.seller_part_id" [ "seller"; "part"; "id" ] [];
+          c "po_line.description" [ "description" ] [];
+          c ~protected:true "po_line.quantity" [ "quantity" ]
+            [
+              c "po_line.quantity.value" [ "value" ] [];
+              c "po_line.quantity.uom" [ "unit"; "of"; "measure" ] [];
+            ];
+          c ~protected:true "po_line.pricing" [ "pricing" ]
+            [
+              c ~protected:true "po_line.pricing.unit_price" [ "unit"; "price" ] [];
+              c "po_line.pricing.amount" [ "amount" ] [];
+              c "po_line.pricing.discount" [ "discount" ] [];
+              c "po_line.pricing.list_price" [ "list"; "price" ] [];
+              c "po_line.pricing.currency" [ "currency" ] [];
+            ];
+          c "po_line.delivery" [ "delivery" ]
+            [
+              c "po_line.delivery.date" [ "date" ] [];
+              c "po_line.delivery.location" [ "location" ] [];
+            ];
+          c "po_line.tax" [ "tax" ]
+            [
+              c "po_line.tax.rate" [ "rate" ] [];
+              c "po_line.tax.amount" [ "amount" ] [];
+            ];
+          c "po_line.schedule" [ "schedule" ]
+            [
+              c "po_line.schedule.start" [ "start"; "date" ] [];
+              c "po_line.schedule.end" [ "end"; "date" ] [];
+              c "po_line.schedule.ship_quantity" [ "deliver"; "quantity" ] [];
+            ];
+          c "po_line.reference" [ "reference" ]
+            [
+              c "po_line.reference.contract" [ "contract"; "id" ] [];
+              c "po_line.reference.quote" [ "quote"; "id" ] [];
+            ];
+          c "po_line.packaging" [ "packaging" ]
+            [
+              c "po_line.packaging.kind" [ "kind" ] [];
+              c "po_line.packaging.weight" [ "weight" ] [];
+              c "po_line.packaging.units" [ "units" ] [];
+            ];
+          c "po_line.comments" [ "comments" ] [];
+        ];
+      c "summary" [ "summary" ]
+        [
+          c "summary.total" [ "total"; "amount" ] [];
+          c "summary.count" [ "line"; "count" ] [];
+          c ~repeatable:true "summary.remarks" [ "remarks" ] [];
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Styles                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type style = {
+  name : string;
+  size : int;
+  casing : Vocab.casing;
+  variant : int;  (* synonym alternative selector *)
+  wrap_parties : bool;  (* insert an extra <...Party> wrapper (XCBL-like) *)
+  rich : bool;  (* instantiate rich-only concepts (secondary contacts/streets) *)
+  fixed : (string * string) list;  (* concept key -> exact label *)
+  default_seed_salt : int;
+}
+
+let style_name s = s.name
+let style_size s = s.size
+
+(* Labels the Table III queries need, fixed on the Apertum style. *)
+let apertum_fixed =
+  [
+    ("order", "Order");
+    ("buyer", "Buyer");
+    ("buyer.contact", "Contact");
+    ("buyer.contact.email", "EMail");
+    ("seller.contact", "Contact");
+    ("seller.contact.email", "EMail");
+    ("deliver_to", "DeliverTo");
+    ("deliver_to.contact", "Contact");
+    ("deliver_to.contact.email", "EMail");
+    ("bill_to.contact", "Contact");
+    ("bill_to.contact.email", "EMail");
+    ("deliver_to.address", "Address");
+    ("deliver_to.address.street", "Street");
+    ("deliver_to.address.city", "City");
+    ("deliver_to.address.country", "Country");
+    ("po_line", "POLine");
+    ("po_line.line_no", "LineNo");
+    ("po_line.buyer_part_id", "BuyerPartID");
+    ("po_line.quantity", "Quantity");
+    ("po_line.pricing.unit_price", "UnitPrice");
+  ]
+
+let excel =
+  { name = "Excel"; size = 48; casing = Vocab.LowerSnake; variant = 0; wrap_parties = false; rich = false; fixed = []; default_seed_salt = 101 }
+
+let noris =
+  { name = "Noris"; size = 66; casing = Vocab.Camel; variant = 1; wrap_parties = false; rich = false; fixed = []; default_seed_salt = 102 }
+
+let paragon =
+  { name = "Paragon"; size = 69; casing = Vocab.UpperSnake; variant = 2; wrap_parties = false; rich = false; fixed = []; default_seed_salt = 103 }
+
+let opentrans =
+  { name = "OT"; size = 247; casing = Vocab.UpperSnake; variant = 3; wrap_parties = false; rich = true; fixed = []; default_seed_salt = 104 }
+
+let apertum =
+  { name = "Apertum"; size = 166; casing = Vocab.Camel; variant = 0; wrap_parties = false; rich = false; fixed = apertum_fixed; default_seed_salt = 105 }
+
+let xcbl =
+  { name = "XCBL"; size = 1076; casing = Vocab.Camel; variant = 1; wrap_parties = true; rich = true; fixed = []; default_seed_salt = 106 }
+
+let cidx =
+  { name = "CIDX"; size = 39; casing = Vocab.Camel; variant = 2; wrap_parties = false; rich = false; fixed = []; default_seed_salt = 107 }
+
+let all = [ excel; noris; paragon; opentrans; apertum; xcbl; cidx ]
+let by_name n = List.find_opt (fun s -> String.equal s.name n) all
+
+(* ------------------------------------------------------------------ *)
+(* Schema generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let concept_label style concept =
+  match List.assoc_opt concept.key style.fixed with
+  | Some l -> l
+  | None ->
+    let tokens = List.map (Vocab.pick_synonym ~variant:style.variant) concept.tokens in
+    Vocab.render style.casing tokens
+
+let party_keys = [ "buyer"; "seller"; "deliver_to"; "bill_to" ]
+let is_party concept = List.mem concept.key party_keys
+
+(* Core spec from the concept tree under a style. *)
+let rec spec_of_concept style concept =
+  let kids =
+    List.filter (fun k -> style.rich || not k.rich_only) concept.kids
+    |> List.map (spec_of_concept style)
+  in
+  let label = concept_label style concept in
+  let base = Schema.spec ~repeatable:concept.repeatable label kids in
+  if style.wrap_parties && is_party concept then begin
+    (* XCBL-like: <BuyerParty><Buyer>...</Buyer></BuyerParty> *)
+    let wrapper_label = label ^ Vocab.render style.casing [ "party" ] in
+    Schema.spec wrapper_label [ base ]
+  end
+  else base
+
+let rec spec_count (s : Schema.spec) =
+  1 + List.fold_left (fun acc k -> acc + spec_count k) 0 s.Schema.children
+
+(* Prune unprotected leaf concepts, last-in-pre-order first, until the tree
+   fits the budget. *)
+let prune_to budget concept =
+  let module M = struct
+    type mnode = {
+      src : concept;
+      mutable mkids : mnode list;
+    }
+  end in
+  let open M in
+  let rec freeze n = { n.src with kids = List.map freeze n.mkids } in
+  let rec thaw concept = { src = concept; mkids = List.map thaw concept.kids } in
+  let root = thaw concept in
+  let rec size n = 1 + List.fold_left (fun acc k -> acc + size k) 0 n.mkids in
+  (* Remove the last (in pre-order) unprotected leaf under [n]; true if one
+     was removed. *)
+  let rec drop_last n =
+    let rec scan_rev = function
+      | [] -> false
+      | k :: rest ->
+        if k.mkids = [] && not k.src.protected then begin
+          n.mkids <- List.filter (fun x -> x != k) n.mkids;
+          true
+        end
+        else if drop_last k then true
+        else scan_rev rest
+    in
+    scan_rev (List.rev n.mkids)
+  in
+  let continue_ = ref true in
+  while size root > budget && !continue_ do
+    if not (drop_last root) then continue_ := false
+  done;
+  freeze root
+
+(* Unique-ify sibling labels by numeric suffixes so root-to-node paths are
+   unique (the block-tree hash is keyed by path). *)
+let uniquify spec =
+  let rec go (s : Schema.spec) =
+    let seen = Hashtbl.create 8 in
+    let fix (k : Schema.spec) =
+      let n = try Hashtbl.find seen k.Schema.name + 1 with Not_found -> 1 in
+      Hashtbl.replace seen k.Schema.name n;
+      let k' = go k in
+      if n = 1 then k' else { k' with Schema.name = Printf.sprintf "%s%d" k.Schema.name n }
+    in
+    { s with Schema.children = List.map fix s.Schema.children }
+  in
+  go spec
+
+(* Pad with filler subtrees (style-cased names from the shared pool) until
+   the spec has exactly [size] elements. *)
+let pad prng style size spec =
+  let slice = style.variant in
+  let current = ref (spec_count spec) in
+  let extras = ref [] in
+  while !current < size do
+    let deficit = size - !current in
+    let n_kids = min (deficit - 1) (Prng.int prng 5) in
+    let kid _ = Schema.spec (Vocab.render style.casing (Vocab.filler_tokens ~slice prng)) [] in
+    let sub =
+      Schema.spec (Vocab.render style.casing (Vocab.filler_tokens ~slice prng))
+        (List.init (max 0 n_kids) kid)
+    in
+    extras := sub :: !extras;
+    current := !current + spec_count sub
+  done;
+  { spec with Schema.children = spec.Schema.children @ List.rev !extras }
+
+let rec filter_rich style concept =
+  {
+    concept with
+    kids =
+      List.filter (fun k -> style.rich || not k.rich_only) concept.kids
+      |> List.map (filter_rich style);
+  }
+
+let generate ?(seed = 42) style =
+  let prng = Prng.create (seed + style.default_seed_salt) in
+  (* Wrapping adds one element per party; leave room for it when pruning. *)
+  let wrap_overhead = if style.wrap_parties then List.length party_keys else 0 in
+  let core = prune_to (style.size - wrap_overhead) (filter_rich style concept_tree) in
+  let spec = spec_of_concept style core in
+  let n = spec_count spec in
+  if n > style.size then
+    invalid_arg
+      (Printf.sprintf "Standards.generate: %s core (%d) exceeds size %d" style.name n style.size);
+  let padded = pad prng style style.size spec in
+  let unique = uniquify padded in
+  let schema = Schema.of_spec unique in
+  assert (Schema.size schema = style.size);
+  schema

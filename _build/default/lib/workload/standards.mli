@@ -1,0 +1,42 @@
+(** Synthetic reproductions of the e-commerce XML standards used in the
+    paper's evaluation (Table II): Excel, Noris, Paragon, OpenTrans (OT),
+    Apertum, XCBL and CIDX.
+
+    All standards instantiate one shared purchase-order {e concept tree},
+    but each applies its own naming convention (casing, synonym choice,
+    decorations), structural quirks (party wrappers) and size (padding with
+    filler subtrees, or pruning, to the exact element count of Table II).
+    Shared concepts plus divergent names is exactly what produces sparse,
+    locally-ambiguous matcher output — the uncertainty the paper manages.
+
+    The Apertum style fixes the labels appearing in the Table III queries
+    ([Order/DeliverTo/Address/City], [POLine/LineNo], [BuyerPartID],
+    [UnitPrice], ...), so D7's queries resolve against it. *)
+
+type style
+
+val style_name : style -> string
+val style_size : style -> int
+(** The Table II element count the style generates. *)
+
+val excel : style  (** 48 elements, lowercase concatenated names *)
+
+val noris : style  (** 66 elements *)
+
+val paragon : style  (** 69 elements *)
+
+val opentrans : style  (** 247 elements, UPPER_SNAKE names *)
+
+val apertum : style  (** 166 elements; carries the query labels *)
+
+val xcbl : style  (** 1076 elements, CamelCase, party wrappers *)
+
+val cidx : style  (** 39 elements *)
+
+val by_name : string -> style option
+
+val generate : ?seed:int -> style -> Uxsm_schema.Schema.t
+(** Generate the style's schema; deterministic in [seed] (default 42).
+    The result has exactly {!style_size} elements, unique root-to-element
+    paths, and the purchase-order core present (pruned smallest-last in the
+    small styles, query-relevant concepts always kept). *)

@@ -1,0 +1,94 @@
+type casing =
+  | Camel
+  | UpperSnake
+  | Lower
+  | LowerSnake
+
+let capitalize s =
+  if s = "" then s
+  else String.make 1 (Char.uppercase_ascii s.[0]) ^ String.sub s 1 (String.length s - 1)
+
+let render casing tokens =
+  match casing with
+  | Camel -> String.concat "" (List.map capitalize tokens)
+  | UpperSnake -> String.concat "_" (List.map String.uppercase_ascii tokens)
+  | Lower -> String.concat "" tokens
+  | LowerSnake -> String.concat "_" tokens
+
+(* Alternatives per canonical token; kept consistent with
+   Name_sim.default_pairs so renamings remain discoverable. *)
+let synonym_table =
+  [
+    ("buyer", [ "buyer"; "customer"; "purchaser" ]);
+    ("seller", [ "seller"; "supplier"; "vendor" ]);
+    ("order", [ "order"; "purchase"; "po" ]);
+    ("id", [ "id"; "identifier"; "code"; "number" ]);
+    ("quantity", [ "quantity"; "qty" ]);
+    ("amount", [ "amount"; "total" ]);
+    ("price", [ "price"; "cost" ]);
+    ("contact", [ "contact"; "party" ]);
+    ("street", [ "street"; "road" ]);
+    ("zip", [ "zip"; "postcode"; "postal" ]);
+    ("email", [ "email"; "mail" ]);
+    ("phone", [ "phone"; "telephone" ]);
+    ("invoice", [ "invoice"; "bill" ]);
+    ("deliver", [ "deliver"; "ship" ]);
+    ("delivery", [ "delivery"; "shipping" ]);
+    ("line", [ "line"; "item" ]);
+    ("date", [ "date"; "day" ]);
+    ("country", [ "country"; "nation" ]);
+    ("name", [ "name"; "label" ]);
+  ]
+
+let synonym_alternatives token =
+  match List.assoc_opt token synonym_table with
+  | Some l -> l
+  | None -> [ token ]
+
+let pick_synonym ~variant token =
+  let alts = synonym_alternatives token in
+  List.nth alts (variant mod List.length alts)
+
+let filler_pool =
+  [|
+    "attachment"; "remark"; "note"; "reference"; "transport"; "routing"; "terms"; "allowance";
+    "charge"; "schedule"; "period"; "validity"; "language"; "currency"; "rate"; "category";
+    "classification"; "dimension"; "weight"; "volume"; "packaging"; "marking"; "hazard";
+    "customs"; "duty"; "region"; "district"; "location"; "site"; "dock"; "warehouse"; "batch";
+    "serial"; "revision"; "version"; "status"; "priority"; "channel"; "medium"; "account";
+    "ledger"; "budget"; "authorization"; "approval"; "signature"; "certificate"; "license";
+    "agreement"; "contract"; "clause"; "condition"; "exception"; "history"; "audit"; "detail";
+    "header"; "group"; "list"; "entry"; "record"; "field"; "section"; "segment"; "component";
+    "extension"; "custom"; "user"; "agent"; "broker"; "carrier"; "forwarder"; "consignee";
+    "payer"; "payee"; "beneficiary"; "guarantor"; "insurer"; "policy"; "claim"; "settlement";
+  |]
+
+(* Each style draws from a 35-token window into the pool; windows of
+   different styles overlap partially, so some filler matches exist across
+   standards without crowding out the renamed core concepts. *)
+let filler_tokens ?(slice = 0) prng =
+  let width = 35 in
+  let offset = slice * 15 mod Array.length filler_pool in
+  let pick () =
+    let i = (offset + Uxsm_util.Prng.int prng width) mod Array.length filler_pool in
+    filler_pool.(i)
+  in
+  let n = 2 + Uxsm_util.Prng.int prng 2 in
+  List.init n (fun _ -> pick ())
+
+let city_names =
+  [| "HongKong"; "London"; "Berlin"; "Paris"; "Tokyo"; "Boston"; "Seattle"; "Milan"; "Oslo"; "Delhi" |]
+
+let person_names =
+  [| "Cathy"; "Bob"; "Alice"; "David"; "Erin"; "Frank"; "Grace"; "Henry"; "Ivy"; "Jack" |]
+
+let street_names =
+  [| "Pokfulam Road"; "Main Street"; "High Street"; "Elm Avenue"; "Oak Lane"; "Bay Road" |]
+
+let country_names = [| "China"; "UK"; "Germany"; "France"; "Japan"; "USA"; "Italy"; "Norway" |]
+
+let words =
+  [|
+    "standard"; "express"; "fragile"; "bulk"; "priority"; "economy"; "sample"; "repeat";
+    "urgent"; "deferred"; "partial"; "complete";
+  |]

@@ -1,0 +1,1 @@
+lib/xml/prob_doc.ml: Array Doc Hashtbl List Uxsm_util

@@ -1,0 +1,1 @@
+lib/xml/prob_doc.mli: Doc Uxsm_util

@@ -1,0 +1,96 @@
+type node = int
+
+type t = {
+  tree : Tree.t array;  (* original subtree per node, for re-extraction *)
+  labels : string array;
+  parent : int array;
+  children : int array array;
+  post : int array;
+  sub_end : int array;
+  level : int array;
+  text : string array;
+  attrs : (string * string) list array;
+  by_label : (string, int list) Hashtbl.t;  (* stored reversed, exposed in order *)
+  by_path : (string, int list) Hashtbl.t;  (* '.'-joined label paths, reversed *)
+}
+
+let of_tree root_tree =
+  (match root_tree with
+  | Tree.Element _ -> ()
+  | Tree.Text _ -> invalid_arg "Doc.of_tree: root must be an element");
+  let n = Tree.node_count root_tree in
+  let tree = Array.make n root_tree in
+  let labels = Array.make n "" in
+  let parent = Array.make n (-1) in
+  let children = Array.make n [||] in
+  let post = Array.make n 0 in
+  let sub_end = Array.make n 0 in
+  let level = Array.make n 0 in
+  let text = Array.make n "" in
+  let attrs = Array.make n [] in
+  let by_label = Hashtbl.create 64 in
+  let by_path = Hashtbl.create 64 in
+  let paths = Array.make n "" in
+  let next_pre = ref 0 in
+  let next_post = ref 0 in
+  (* Explicit recursion keeps pre/post assignment obviously correct; document
+     depth is bounded by schema depth so stack use is fine. *)
+  let rec index parent_id depth t =
+    match t with
+    | Tree.Text _ -> None
+    | Tree.Element e ->
+      let id = !next_pre in
+      incr next_pre;
+      tree.(id) <- t;
+      labels.(id) <- e.name;
+      parent.(id) <- parent_id;
+      level.(id) <- depth;
+      text.(id) <- Tree.text_content t;
+      attrs.(id) <- e.attrs;
+      paths.(id) <- (if parent_id < 0 then e.name else paths.(parent_id) ^ "." ^ e.name);
+      let prev = try Hashtbl.find by_label e.name with Not_found -> [] in
+      Hashtbl.replace by_label e.name (id :: prev);
+      let prev_p = try Hashtbl.find by_path paths.(id) with Not_found -> [] in
+      Hashtbl.replace by_path paths.(id) (id :: prev_p);
+      let kids = List.filter_map (index id (depth + 1)) e.children in
+      children.(id) <- Array.of_list kids;
+      sub_end.(id) <- !next_pre - 1;
+      post.(id) <- !next_post;
+      incr next_post;
+      Some id
+  in
+  ignore (index (-1) 0 root_tree);
+  { tree; labels; parent; children; post; sub_end; level; text; attrs; by_label; by_path }
+
+let root _ = 0
+let size t = Array.length t.labels
+let label t i = t.labels.(i)
+let parent t i = if t.parent.(i) < 0 then None else Some t.parent.(i)
+let children t i = Array.to_list t.children.(i)
+let level t i = t.level.(i)
+let post t i = t.post.(i)
+let subtree_end t i = t.sub_end.(i)
+let text t i = t.text.(i)
+let attrs t i = t.attrs.(i)
+let attr t i name = List.assoc_opt name t.attrs.(i)
+let is_ancestor t a b = a < b && t.post.(a) > t.post.(b)
+let is_parent t a b = t.parent.(b) = a
+
+let nodes_with_label t l =
+  match Hashtbl.find_opt t.by_label l with
+  | None -> []
+  | Some ids -> List.rev ids
+
+let nodes_with_path t p =
+  match Hashtbl.find_opt t.by_path p with
+  | None -> []
+  | Some ids -> List.rev ids
+
+let labels t =
+  Hashtbl.fold (fun l _ acc -> l :: acc) t.by_label [] |> List.sort compare
+
+let subtree t i = t.tree.(i)
+
+let path t i =
+  let rec up acc i = if i < 0 then acc else up (t.labels.(i) :: acc) t.parent.(i) in
+  up [] i

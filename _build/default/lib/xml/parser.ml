@@ -1,0 +1,306 @@
+type error = {
+  position : int;
+  line : int;
+  column : int;
+  message : string;
+}
+
+let error_to_string e = Printf.sprintf "XML parse error at line %d, column %d: %s" e.line e.column e.message
+
+exception Parse_error of error
+
+type state = {
+  input : string;
+  mutable pos : int;
+}
+
+let line_col input pos =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min (pos - 1) (String.length input - 1) do
+    if input.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st message =
+  let line, column = line_col st.input st.pos in
+  raise (Parse_error { position = st.pos; line; column; message })
+
+let eof st = st.pos >= String.length st.input
+let peek st = if eof st then '\000' else st.input.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let expect st s = if looking_at st s then st.pos <- st.pos + String.length s else fail st (Printf.sprintf "expected %S" s)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Decode an entity or character reference starting after '&'. *)
+let parse_reference st buf =
+  if looking_at st "#x" || looking_at st "#X" then begin
+    st.pos <- st.pos + 2;
+    let start = st.pos in
+    while (not (eof st)) && peek st <> ';' do
+      advance st
+    done;
+    let hex = String.sub st.input start (st.pos - start) in
+    expect st ";";
+    match int_of_string_opt ("0x" ^ hex) with
+    | Some code when code > 0 && code < 128 -> Buffer.add_char buf (Char.chr code)
+    | Some code ->
+      (* Encode non-ASCII as UTF-8. *)
+      let b = Buffer.create 4 in
+      Buffer.add_utf_8_uchar b (Uchar.of_int code);
+      Buffer.add_buffer buf b
+    | None -> fail st "invalid hexadecimal character reference"
+  end
+  else if looking_at st "#" then begin
+    advance st;
+    let start = st.pos in
+    while (not (eof st)) && peek st <> ';' do
+      advance st
+    done;
+    let dec = String.sub st.input start (st.pos - start) in
+    expect st ";";
+    match int_of_string_opt dec with
+    | Some code when code > 0 && code < 128 -> Buffer.add_char buf (Char.chr code)
+    | Some code ->
+      let b = Buffer.create 4 in
+      Buffer.add_utf_8_uchar b (Uchar.of_int code);
+      Buffer.add_buffer buf b
+    | None -> fail st "invalid decimal character reference"
+  end
+  else begin
+    let name = parse_name st in
+    expect st ";";
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "quot" -> Buffer.add_char buf '"'
+    | "apos" -> Buffer.add_char buf '\''
+    | other -> fail st (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else
+      let c = peek st in
+      if c = quote then advance st
+      else if c = '&' then begin
+        advance st;
+        parse_reference st buf;
+        go ()
+      end
+      else if c = '<' then fail st "'<' in attribute value"
+      else begin
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+      end
+  in
+  go ();
+  Buffer.contents buf
+
+let skip_comment st =
+  expect st "<!--";
+  let rec go () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "-->" then st.pos <- st.pos + 3
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_pi st =
+  expect st "<?";
+  let rec go () =
+    if eof st then fail st "unterminated processing instruction"
+    else if looking_at st "?>" then st.pos <- st.pos + 2
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  (* Skip to the matching '>' (internal subsets in brackets are skipped too). *)
+  let depth = ref 0 in
+  let rec go () =
+    if eof st then fail st "unterminated DOCTYPE"
+    else begin
+      let c = peek st in
+      advance st;
+      if c = '[' then begin
+        incr depth;
+        go ()
+      end
+      else if c = ']' then begin
+        decr depth;
+        go ()
+      end
+      else if c = '>' && !depth = 0 then ()
+      else go ()
+    end
+  in
+  go ()
+
+let parse_cdata st buf =
+  expect st "<![CDATA[";
+  let rec go () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then st.pos <- st.pos + 3
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let rec parse_element st =
+  expect st "<";
+  let name = parse_name st in
+  let rec parse_attrs acc =
+    skip_spaces st;
+    if looking_at st "/>" then begin
+      st.pos <- st.pos + 2;
+      (List.rev acc, true)
+    end
+    else if looking_at st ">" then begin
+      advance st;
+      (List.rev acc, false)
+    end
+    else begin
+      let attr_name = parse_name st in
+      skip_spaces st;
+      expect st "=";
+      skip_spaces st;
+      let value = parse_attr_value st in
+      parse_attrs ((attr_name, value) :: acc)
+    end
+  in
+  let attrs, self_closing = parse_attrs [] in
+  if self_closing then Tree.Element { name; attrs; children = [] }
+  else begin
+    let children = parse_content st in
+    expect st "</";
+    let close = parse_name st in
+    if not (String.equal close name) then
+      fail st (Printf.sprintf "mismatched closing tag </%s> for <%s>" close name);
+    skip_spaces st;
+    expect st ">";
+    Tree.Element { name; attrs; children }
+  end
+
+and parse_content st =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      if String.exists (fun c -> not (is_space c)) s then out := Tree.Text s :: !out
+    end
+  in
+  let rec go () =
+    if eof st then fail st "unexpected end of input inside element"
+    else if looking_at st "</" then flush_text ()
+    else if looking_at st "<!--" then begin
+      flush_text ();
+      skip_comment st;
+      go ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      parse_cdata st buf;
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      flush_text ();
+      skip_pi st;
+      go ()
+    end
+    else if looking_at st "<" then begin
+      flush_text ();
+      let child = parse_element st in
+      out := child :: !out;
+      go ()
+    end
+    else if looking_at st "&" then begin
+      advance st;
+      parse_reference st buf;
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  List.rev !out
+
+let skip_misc st =
+  let rec go () =
+    skip_spaces st;
+    if looking_at st "<?" then begin
+      skip_pi st;
+      go ()
+    end
+    else if looking_at st "<!--" then begin
+      skip_comment st;
+      go ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      skip_doctype st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_exn input =
+  let st = { input; pos = 0 } in
+  skip_misc st;
+  if eof st then fail st "empty document";
+  let root = parse_element st in
+  skip_misc st;
+  if not (eof st) then fail st "trailing content after root element";
+  root
+
+let parse input =
+  match parse_exn input with
+  | tree -> Ok tree
+  | exception Parse_error e -> Error e

@@ -1,0 +1,25 @@
+(** A small hand-written XML parser.
+
+    Supports the subset needed for schema/document interchange: elements,
+    attributes, character data, CDATA sections, comments, processing
+    instructions and the XML declaration (skipped), and the five predefined
+    entities plus decimal/hex character references. DTDs and namespaces are
+    out of scope: qualified names are kept verbatim. *)
+
+type error = {
+  position : int;  (** byte offset into the input *)
+  line : int;  (** 1-based line *)
+  column : int;  (** 1-based column *)
+  message : string;
+}
+
+val error_to_string : error -> string
+
+exception Parse_error of error
+
+val parse : string -> (Tree.t, error) result
+(** Parse one document (a single root element, optionally preceded or
+    followed by misc whitespace/comments/PIs). *)
+
+val parse_exn : string -> Tree.t
+(** Like {!parse} but raises {!Parse_error}. *)

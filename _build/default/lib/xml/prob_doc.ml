@@ -1,0 +1,58 @@
+type t = {
+  doc : Doc.t;
+  cond : float array;  (* existence probability given the parent exists *)
+  marginal : float array;
+}
+
+let compute_marginals doc cond =
+  Array.mapi
+    (fun v p ->
+      match Doc.parent doc v with
+      | None -> p
+      | Some _ ->
+        (* pre-order ids: parents precede children, so a left-to-right fold
+           would work; recompute explicitly to stay obviously correct *)
+        let rec up v acc =
+          match Doc.parent doc v with
+          | None -> acc
+          | Some parent -> up parent (acc *. cond.(parent))
+        in
+        up v p)
+    cond
+
+let of_probs doc probs =
+  if Array.length probs <> Doc.size doc then invalid_arg "Prob_doc.of_probs: wrong length";
+  Array.iter
+    (fun p -> if p < 0.0 || p > 1.0 then invalid_arg "Prob_doc.of_probs: probability out of range")
+    probs;
+  if probs.(Doc.root doc) <> 1.0 then invalid_arg "Prob_doc.of_probs: root must have probability 1";
+  { doc; cond = Array.copy probs; marginal = compute_marginals doc probs }
+
+let deterministic doc = of_probs doc (Array.make (Doc.size doc) 1.0)
+
+let randomize ~prng ?(p_min = 0.7) ?(p_max = 1.0) doc =
+  if p_min < 0.0 || p_max > 1.0 || p_min > p_max then invalid_arg "Prob_doc.randomize";
+  let probs =
+    Array.init (Doc.size doc) (fun v ->
+        if v = Doc.root doc then 1.0
+        else p_min +. Uxsm_util.Prng.float prng (p_max -. p_min))
+  in
+  of_probs doc probs
+
+let doc t = t.doc
+let cond_prob t v = t.cond.(v)
+let marginal_prob t v = t.marginal.(v)
+
+let coexistence_prob t nodes =
+  (* Union of root paths, then product of conditional probabilities. *)
+  let closure = Hashtbl.create 16 in
+  let rec add v =
+    if not (Hashtbl.mem closure v) then begin
+      Hashtbl.add closure v ();
+      match Doc.parent t.doc v with
+      | None -> ()
+      | Some p -> add p
+    end
+  in
+  List.iter add nodes;
+  Hashtbl.fold (fun v () acc -> acc *. t.cond.(v)) closure 1.0

@@ -1,0 +1,38 @@
+(** Probabilistic XML documents, in the independent-existence model
+    (ProTDB-style "ind" nodes; cf. Kimelfeld et al., the paper's [20]).
+
+    Each element node carries the probability that it exists {e given} its
+    parent exists; the root always exists. Node existences are independent
+    conditioned on ancestors, so the probability that a set of nodes
+    coexists is the product of the conditional probabilities over the
+    ancestor closure of the set. This is the document-uncertainty substrate
+    for evaluating PTQs over uncertain documents {e and} uncertain
+    mappings, one of the paper's future-work combinations. *)
+
+type t
+
+val deterministic : Doc.t -> t
+(** Every node exists with probability 1 — queries over it coincide with
+    ordinary evaluation. *)
+
+val randomize : prng:Uxsm_util.Prng.t -> ?p_min:float -> ?p_max:float -> Doc.t -> t
+(** Independent conditional probabilities drawn uniformly from
+    [\[p_min, p_max\]] (defaults 0.7, 1.0); the root is kept at 1. *)
+
+val of_probs : Doc.t -> float array -> t
+(** Explicit conditional probabilities, indexed by document node. Raises
+    [Invalid_argument] on wrong length, probabilities outside [\[0, 1\]],
+    or a root probability other than 1. *)
+
+val doc : t -> Doc.t
+
+val cond_prob : t -> Doc.node -> float
+(** Existence probability given the parent exists. *)
+
+val marginal_prob : t -> Doc.node -> float
+(** Unconditional existence probability: product along the root path. *)
+
+val coexistence_prob : t -> Doc.node list -> float
+(** Probability that all listed nodes exist simultaneously: the product of
+    conditional probabilities over the union of their root paths. 1 for the
+    empty list. *)

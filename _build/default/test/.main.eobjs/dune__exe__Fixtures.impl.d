@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Hashtbl List Printf Uxsm_mapping Uxsm_schema Uxsm_twig Uxsm_util Uxsm_xml

@@ -1,0 +1,1 @@
+test/ptq_helpers.ml: Fixtures Uxsm_blocktree Uxsm_ptq

@@ -1,0 +1,1 @@
+test/test_assignment.ml: Alcotest Array Float Fun Hashtbl List Printf QCheck QCheck_alcotest String Uxsm_assignment

@@ -1,0 +1,1 @@
+test/test_blocktree.ml: Alcotest Array Fixtures Fun List QCheck QCheck_alcotest Uxsm_blocktree Uxsm_mapping Uxsm_schema Uxsm_util

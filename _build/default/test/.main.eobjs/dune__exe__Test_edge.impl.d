@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array List Ptq_helpers Uxsm_assignment Uxsm_blocktree Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_util Uxsm_workload Uxsm_xml

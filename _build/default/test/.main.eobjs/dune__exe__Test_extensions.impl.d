@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Fixtures Float List Option QCheck QCheck_alcotest Uxsm_blocktree Uxsm_mapping Uxsm_matcher Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_util Uxsm_workload Uxsm_xml

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float List Option Uxsm_assignment Uxsm_blocktree Uxsm_mapping Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_workload Uxsm_xml

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Fixtures Float List Uxsm_mapping Uxsm_schema

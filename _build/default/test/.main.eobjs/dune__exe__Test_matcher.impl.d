@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Fixtures Float Hashtbl List Option Printf Uxsm_mapping Uxsm_matcher Uxsm_schema Uxsm_workload

@@ -1,0 +1,1 @@
+test/test_ptq.ml: Alcotest Fixtures Float Int List QCheck QCheck_alcotest Uxsm_blocktree Uxsm_mapping Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_util

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Fixtures Float Fun List Printf QCheck QCheck_alcotest String Uxsm_assignment Uxsm_blocktree Uxsm_mapping Uxsm_ptq Uxsm_schema Uxsm_twig Uxsm_util Uxsm_xml

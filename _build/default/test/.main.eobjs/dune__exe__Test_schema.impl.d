@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Fixtures List QCheck QCheck_alcotest String Uxsm_schema Uxsm_util Uxsm_xml

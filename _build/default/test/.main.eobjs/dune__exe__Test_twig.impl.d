@@ -1,0 +1,1 @@
+test/test_twig.ml: Alcotest Array Fixtures Fun List QCheck QCheck_alcotest String Uxsm_schema Uxsm_twig Uxsm_util Uxsm_xml

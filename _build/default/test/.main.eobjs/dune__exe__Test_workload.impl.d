@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Option String Uxsm_mapping Uxsm_ptq Uxsm_schema Uxsm_util Uxsm_workload Uxsm_xml

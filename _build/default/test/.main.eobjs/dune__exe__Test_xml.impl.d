@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Fixtures Fun List QCheck QCheck_alcotest String Uxsm_xml

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "uxsm"
+    [
+      ("util", Test_util.suite);
+      ("xml", Test_xml.suite);
+      ("schema", Test_schema.suite);
+      ("matcher", Test_matcher.suite);
+      ("assignment", Test_assignment.suite);
+      ("mapping", Test_mapping.suite);
+      ("blocktree", Test_blocktree.suite);
+      ("twig", Test_twig.suite);
+      ("ptq", Test_ptq.suite);
+      ("workload", Test_workload.suite);
+      ("extensions", Test_extensions.suite);
+      ("robustness", Test_robustness.suite);
+      ("edge", Test_edge.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,9 @@
+(* Shared PTQ context builders for suites. *)
+
+let fig_ctx ?(tau = 0.4) () =
+  let tree =
+    Uxsm_blocktree.Block_tree.build
+      ~params:{ Uxsm_blocktree.Block_tree.tau; max_b = 500; max_f = 500 }
+      Fixtures.fig3_mset
+  in
+  Uxsm_ptq.Ptq.context ~tree ~mset:Fixtures.fig3_mset ~doc:Fixtures.fig2_doc ()

@@ -1,0 +1,173 @@
+(* Tests for the assignment substrate: Bipartite, Solver, Murty, Partition.
+   The ground truth is a brute-force enumerator of all injective partial
+   assignments; weights are dyadic rationals so float sums are exact. *)
+
+module Bipartite = Uxsm_assignment.Bipartite
+module Solver = Uxsm_assignment.Solver
+module Murty = Uxsm_assignment.Murty
+module Partition = Uxsm_assignment.Partition
+
+(* Enumerate every injective partial assignment (left -> right or none)
+   restricted to the given edges; return scores sorted non-increasing. *)
+let brute_force_solutions g =
+  let nl = Bipartite.n_left g in
+  let out = ref [] in
+  let used = Hashtbl.create 16 in
+  let rec go i pairs score =
+    if i = nl then out := (score, List.rev pairs) :: !out
+    else begin
+      go (i + 1) pairs score;
+      Array.iter
+        (fun (j, w) ->
+          if not (Hashtbl.mem used j) then begin
+            Hashtbl.add used j ();
+            go (i + 1) ((i, j) :: pairs) (score +. w);
+            Hashtbl.remove used j
+          end)
+        (Bipartite.adj g i)
+    end
+  in
+  go 0 [] 0.0;
+  List.sort (fun (s1, _) (s2, _) -> Float.compare s2 s1) !out
+
+let brute_force_scores g = List.map fst (brute_force_solutions g)
+
+(* Random sparse bipartite graphs with dyadic weights. *)
+let gen_graph =
+  let open QCheck.Gen in
+  let* nl = int_range 1 5 in
+  let* nr = int_range 1 5 in
+  let all_pairs = List.concat_map (fun i -> List.init nr (fun j -> (i, j))) (List.init nl Fun.id) in
+  let* kept = flatten_l (List.map (fun p -> map (fun b -> (p, b)) bool) all_pairs) in
+  let chosen = List.filter_map (fun (p, b) -> if b then Some p else None) kept in
+  let* weights = flatten_l (List.map (fun _ -> int_range 1 16) chosen) in
+  let edges = List.map2 (fun (i, j) k -> (i, j, float_of_int k /. 4.0)) chosen weights in
+  return (Bipartite.create ~n_left:nl ~n_right:nr edges)
+
+let arb_graph =
+  QCheck.make gen_graph ~print:(fun g ->
+      Printf.sprintf "nl=%d nr=%d edges=[%s]" (Bipartite.n_left g) (Bipartite.n_right g)
+        (String.concat "; "
+           (List.map (fun (i, j, w) -> Printf.sprintf "(%d,%d,%.2f)" i j w) (Bipartite.edges g))))
+
+let valid_solution g (s : Murty.solution) =
+  let lefts = List.map fst s.pairs and rights = List.map snd s.pairs in
+  let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+  distinct lefts && distinct rights
+  && List.for_all
+       (fun (i, j) ->
+         match Bipartite.weight g i j with
+         | Some _ -> true
+         | None -> false)
+       s.pairs
+  && Float.equal s.score
+       (List.fold_left
+          (fun acc (i, j) ->
+            match Bipartite.weight g i j with
+            | Some w -> acc +. w
+            | None -> acc)
+          0.0 s.pairs)
+
+let prop_optimal =
+  QCheck.Test.make ~count:300 ~name:"Murty h=1 finds the optimum" arb_graph (fun g ->
+      match (Murty.top ~h:1 g, brute_force_scores g) with
+      | [ best ], expect :: _ -> valid_solution g best && Float.equal best.score expect
+      | _ -> false)
+
+let prop_murty_matches_brute_force =
+  QCheck.Test.make ~count:200 ~name:"Murty top-h score sequence = brute force" arb_graph (fun g ->
+      let h = 25 in
+      let got = Murty.top ~h g in
+      let expect = brute_force_scores g in
+      let expect_h = List.filteri (fun k _ -> k < h) expect in
+      List.length got = min h (List.length expect)
+      && List.for_all (valid_solution g) got
+      && List.for_all2 (fun (s : Murty.solution) e -> Float.equal s.score e) got expect_h)
+
+let prop_murty_distinct =
+  QCheck.Test.make ~count:200 ~name:"Murty solutions are pairwise distinct" arb_graph (fun g ->
+      let got = Murty.top ~h:25 g in
+      let keys = List.map (fun (s : Murty.solution) -> s.pairs) got in
+      List.length (List.sort_uniq compare keys) = List.length keys)
+
+let prop_murty_cold_equals_warm =
+  QCheck.Test.make ~count:150 ~name:"Murty cold re-solve = warm restart" arb_graph (fun g ->
+      let scores resolve =
+        List.map (fun (s : Murty.solution) -> s.score) (Murty.top ~resolve ~h:20 g)
+      in
+      scores `Cold = scores `Warm)
+
+let prop_murty_order_invariant =
+  QCheck.Test.make ~count:200 ~name:"Murty `Index and `Degree orders agree on scores" arb_graph
+    (fun g ->
+      let a = List.map (fun (s : Murty.solution) -> s.score) (Murty.top ~order:`Index ~h:20 g) in
+      let b = List.map (fun (s : Murty.solution) -> s.score) (Murty.top ~order:`Degree ~h:20 g) in
+      a = b)
+
+let prop_partition_matches_murty =
+  QCheck.Test.make ~count:200 ~name:"Partition.top score sequence = Murty.top" arb_graph (fun g ->
+      let h = 20 in
+      let a = List.map (fun (s : Murty.solution) -> s.score) (Murty.top ~h g) in
+      let b = List.map (fun (s : Murty.solution) -> s.score) (Partition.top ~h g) in
+      a = b && List.for_all (valid_solution g) (Partition.top ~h g))
+
+let prop_components_partition_edges =
+  QCheck.Test.make ~count:200 ~name:"components partition the edge set" arb_graph (fun g ->
+      let comps = Partition.components g in
+      let all = List.concat_map (fun (c : Partition.component) -> c.edges) comps in
+      List.sort compare all = List.sort compare (Bipartite.edges g))
+
+let test_fig7_example () =
+  (* The bipartite of Figure 7: s1..s4 vs t1..t3 with the drawn edges. *)
+  let g =
+    Bipartite.create ~n_left:4 ~n_right:3
+      [ (0, 0, 0.8); (0, 1, 0.5); (2, 1, 0.9); (1, 2, 0.7); (3, 2, 0.6) ]
+  in
+  let comps = Partition.components g in
+  Alcotest.(check int) "two partitions (Figure 8)" 2 (List.length comps);
+  let best =
+    match Murty.top ~h:1 g with
+    | [ b ] -> b
+    | _ -> Alcotest.fail "expected one solution"
+  in
+  (* Best: s1~t1 (.8), s3~t2 (.9), s2~t3 (.7) beats s4~t3 (.6). *)
+  Alcotest.(check (float 1e-9)) "optimal score" 2.4 best.score
+
+let test_merge_top_h () =
+  let mk score = { Murty.pairs = []; score } in
+  let a = List.map mk [ 5.0; 3.0; 1.0 ] and b = List.map mk [ 4.0; 2.0 ] in
+  let merged = Partition.merge ~h:4 a b in
+  Alcotest.(check (list (float 1e-9)))
+    "top-4 of pairwise sums" [ 9.0; 7.0; 7.0; 5.0 ]
+    (List.map (fun (s : Murty.solution) -> s.score) merged)
+
+let test_empty_graph () =
+  let g = Bipartite.create ~n_left:3 ~n_right:2 [] in
+  (match Murty.top ~h:5 g with
+  | [ only ] ->
+    Alcotest.(check (float 0.0)) "only the empty solution" 0.0 only.score;
+    Alcotest.(check int) "no pairs" 0 (List.length only.pairs)
+  | l -> Alcotest.failf "expected exactly one solution, got %d" (List.length l));
+  match Partition.top ~h:5 g with
+  | [ only ] -> Alcotest.(check (float 0.0)) "partition: empty solution" 0.0 only.score
+  | l -> Alcotest.failf "partition: expected one solution, got %d" (List.length l)
+
+let test_create_validation () =
+  let raises f = Alcotest.check_raises "invalid_arg" (Invalid_argument "Bipartite.create: duplicate edge") f in
+  raises (fun () -> ignore (Bipartite.create ~n_left:2 ~n_right:2 [ (0, 0, 1.0); (0, 0, 2.0) ]))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "Figure 7/8 example" `Quick test_fig7_example;
+    Alcotest.test_case "merge top-h" `Quick test_merge_top_h;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    q prop_optimal;
+    q prop_murty_matches_brute_force;
+    q prop_murty_distinct;
+    q prop_murty_order_invariant;
+    q prop_murty_cold_equals_warm;
+    q prop_partition_matches_murty;
+    q prop_components_partition_edges;
+  ]

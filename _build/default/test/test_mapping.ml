@@ -1,0 +1,179 @@
+(* Mapping layer tests: matchings, possible mappings, o-ratio, and
+   probabilistic mapping sets. *)
+
+module Schema = Uxsm_schema.Schema
+module Matching = Uxsm_mapping.Matching
+module Mapping = Uxsm_mapping.Mapping
+module Mapping_set = Uxsm_mapping.Mapping_set
+
+let source = Fixtures.fig1_source
+let target = Fixtures.fig1_target
+let mk = Mapping.of_pairs ~source ~target ~score:1.0
+
+let test_mapping_validation () =
+  let fails pairs =
+    match mk pairs with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  fails [ (0, 0); (0, 1) ];
+  (* source twice *)
+  fails [ (0, 0); (1, 0) ];
+  (* target twice *)
+  fails [ (99, 0) ];
+  fails [ (0, 99) ]
+
+let test_mapping_lookups () =
+  let m = Fixtures.fig3_m1 in
+  Alcotest.(check (option int)) "source_of ICN" (Some Fixtures.s_bcn)
+    (Mapping.source_of m Fixtures.t_icn);
+  Alcotest.(check (option int)) "target_of BCN" (Some Fixtures.t_icn)
+    (Mapping.target_of m Fixtures.s_bcn);
+  Alcotest.(check (option int)) "unmapped" None (Mapping.source_of m Fixtures.t_sp);
+  Alcotest.(check bool) "covers" true
+    (Mapping.covers_targets m [ Fixtures.t_order; Fixtures.t_icn ]);
+  Alcotest.(check bool) "does not cover SP" false (Mapping.covers_targets m [ Fixtures.t_sp ]);
+  Alcotest.(check int) "size" 4 (Mapping.size m)
+
+let test_o_ratio () =
+  (* m1 and m2 share 3 of 5 distinct corrs: o-ratio 3/5. *)
+  Alcotest.(check (float 1e-9)) "fig3 m1/m2" 0.6 (Mapping.o_ratio Fixtures.fig3_m1 Fixtures.fig3_m2);
+  Alcotest.(check (float 1e-9)) "self" 1.0 (Mapping.o_ratio Fixtures.fig3_m1 Fixtures.fig3_m1);
+  Alcotest.(check (float 1e-9)) "symmetric"
+    (Mapping.o_ratio Fixtures.fig3_m1 Fixtures.fig3_m3)
+    (Mapping.o_ratio Fixtures.fig3_m3 Fixtures.fig3_m1);
+  let empty = mk [] in
+  Alcotest.(check (float 1e-9)) "both empty" 1.0 (Mapping.o_ratio empty empty);
+  Alcotest.(check (float 1e-9)) "empty vs non-empty" 0.0
+    (Mapping.o_ratio empty Fixtures.fig3_m1)
+
+let test_equal () =
+  let a = mk [ (0, 0); (1, 3) ] and b = mk [ (1, 3); (0, 0) ] and c = mk [ (0, 0) ] in
+  Alcotest.(check bool) "order irrelevant" true (Mapping.equal a b);
+  Alcotest.(check bool) "different" false (Mapping.equal a c)
+
+let test_matching_validation () =
+  let fails corrs =
+    match Matching.create ~source ~target corrs with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  fails [ { Matching.source = 0; target = 0; score = 0.0 } ];
+  fails [ { Matching.source = 0; target = 0; score = 1.5 } ];
+  fails
+    [
+      { Matching.source = 0; target = 0; score = 0.5 };
+      { Matching.source = 0; target = 0; score = 0.6 };
+    ]
+
+let test_matching_lookups () =
+  let m = Fixtures.fig1_matching in
+  Alcotest.(check int) "capacity" 10 (Matching.capacity m);
+  Alcotest.(check (option (float 1e-9))) "score" (Some 0.84)
+    (Matching.score m Fixtures.s_bcn Fixtures.t_icn);
+  Alcotest.(check int) "three candidates for ICN" 3
+    (List.length (Matching.corrs_of_target m Fixtures.t_icn));
+  Alcotest.(check int) "BP has two targets" 2
+    (List.length (Matching.corrs_of_source m Fixtures.s_bp))
+
+let test_mapping_set_of_mappings () =
+  let mset = Fixtures.fig3_mset in
+  Alcotest.(check int) "size" 5 (Mapping_set.size mset);
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 (Mapping_set.mappings mset) in
+  Alcotest.(check (float 1e-9)) "probabilities normalized" 1.0 total;
+  Alcotest.(check (float 1e-9)) "uniform" 0.2 (Mapping_set.probability mset 0)
+
+let test_generate_from_matching () =
+  let mset = Mapping_set.generate ~h:10 Fixtures.fig1_matching in
+  Alcotest.(check bool) "at most 10" true (Mapping_set.size mset <= 10);
+  Alcotest.(check bool) "at least 2" true (Mapping_set.size mset >= 2);
+  (* probabilities sorted non-increasing, matching the score order *)
+  let ps = List.map snd (Mapping_set.mappings mset) in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-12 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "probabilities non-increasing" true (non_increasing ps);
+  (* generate with both methods agrees on scores *)
+  let m2 = Mapping_set.generate ~method_:Mapping_set.Murty ~h:10 Fixtures.fig1_matching in
+  let scores s = List.map (fun (m, _) -> Mapping.score m) (Mapping_set.mappings s) in
+  List.iter2
+    (fun a b -> Alcotest.(check (float 1e-9)) "method-independent scores" a b)
+    (scores mset) (scores m2)
+
+let test_storage_accounting () =
+  let naive = Mapping_set.storage_bytes_naive Fixtures.fig3_mset in
+  (* 5 mappings: 8 bytes each + 8 per corr; sizes 4,4,5,4,4 = 21 corrs *)
+  Alcotest.(check int) "naive bytes" ((5 * 8) + (21 * 8)) naive
+
+let test_metrics () =
+  let module Metrics = Uxsm_mapping.Metrics in
+  let mset = Fixtures.fig3_mset in
+  (* Uniform over 5 mappings: entropy = log2 5, normalized = 1. *)
+  Alcotest.(check (float 1e-9)) "entropy" (Float.log 5.0 /. Float.log 2.0) (Metrics.entropy mset);
+  Alcotest.(check (float 1e-9)) "normalized entropy" 1.0 (Metrics.normalized_entropy mset);
+  (* ICN: three distinct sources (BCN, RCN, OCN), never unmapped -> 3. *)
+  Alcotest.(check int) "ICN ambiguity" 3 (Metrics.target_ambiguity mset Fixtures.t_icn);
+  (* ORDER: always Order -> 1. *)
+  Alcotest.(check int) "ORDER consensus" 1 (Metrics.target_ambiguity mset Fixtures.t_order);
+  (* SP: mapped by m3 only, unmapped by the rest -> 2 choices. *)
+  Alcotest.(check int) "SP ambiguity" 2 (Metrics.target_ambiguity mset Fixtures.t_sp);
+  let consensus = Metrics.consensus mset in
+  let order_choice = List.find (fun (y, _, _) -> y = Fixtures.t_order) consensus in
+  (match order_choice with
+  | _, x, p ->
+    Alcotest.(check int) "ORDER -> Order" Fixtures.s_order x;
+    Alcotest.(check (float 1e-9)) "full support" 1.0 p);
+  let icn_choice = List.find (fun (y, _, _) -> y = Fixtures.t_icn) consensus in
+  (match icn_choice with
+  | _, _, p -> Alcotest.(check (float 1e-9)) "ICN majority support 0.4" 0.4 p);
+  (* sizes: m1,m2,m4,m5 have 4, m3 has 5 -> expected 4.2 *)
+  Alcotest.(check (float 1e-9)) "expected size" 4.2 (Metrics.expected_mapping_size mset);
+  let hist = Metrics.ambiguity_histogram mset in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 hist in
+  Alcotest.(check int) "histogram covers mapped targets" 5 total
+
+let test_feedback () =
+  let module Feedback = Uxsm_mapping.Feedback in
+  let module Metrics = Uxsm_mapping.Metrics in
+  let mset = Fixtures.fig3_mset in
+  (* Confirming ICN ~ BCN keeps m1 and m2 only, renormalized to 1/2. *)
+  (match Feedback.condition mset ~target:Fixtures.t_icn (Feedback.Confirmed Fixtures.s_bcn) with
+  | None -> Alcotest.fail "should survive"
+  | Some conditioned ->
+    Alcotest.(check int) "two survivors" 2 (Mapping_set.size conditioned);
+    Alcotest.(check (float 1e-9)) "renormalized" 0.5 (Mapping_set.probability conditioned 0);
+    (* ICN is now settled. *)
+    Alcotest.(check int) "ICN settled" 1 (Metrics.target_ambiguity conditioned Fixtures.t_icn));
+  (* Confirming SP unmapped keeps everything but m3. *)
+  (match Feedback.condition mset ~target:Fixtures.t_sp Feedback.Unmapped with
+  | None -> Alcotest.fail "should survive"
+  | Some conditioned -> Alcotest.(check int) "four survivors" 4 (Mapping_set.size conditioned));
+  (* A contradiction of every mapping yields None. *)
+  (match Feedback.condition mset ~target:Fixtures.t_order Feedback.Unmapped with
+  | None -> ()
+  | Some _ -> Alcotest.fail "every mapping maps ORDER");
+  (* Question ranking: ICN (3-way even split) prunes more than SP (4/1
+     split), and settled elements are not asked about. *)
+  let qs = Feedback.questions mset in
+  Alcotest.(check bool) "ORDER not asked" true
+    (not (List.mem_assoc Fixtures.t_order qs));
+  let h_icn = List.assoc Fixtures.t_icn qs and h_sp = List.assoc Fixtures.t_sp qs in
+  Alcotest.(check bool) "asking ICN leaves less entropy" true (h_icn < h_sp);
+  (* Expected entropy after asking is below the current entropy. *)
+  Alcotest.(check bool) "information is gained" true (h_icn < Metrics.entropy mset)
+
+let suite =
+  [
+    Alcotest.test_case "mapping validation" `Quick test_mapping_validation;
+    Alcotest.test_case "mapping lookups" `Quick test_mapping_lookups;
+    Alcotest.test_case "o-ratio" `Quick test_o_ratio;
+    Alcotest.test_case "mapping equality" `Quick test_equal;
+    Alcotest.test_case "matching validation" `Quick test_matching_validation;
+    Alcotest.test_case "matching lookups" `Quick test_matching_lookups;
+    Alcotest.test_case "mapping set from explicit mappings" `Quick test_mapping_set_of_mappings;
+    Alcotest.test_case "generate from matching" `Quick test_generate_from_matching;
+    Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+    Alcotest.test_case "uncertainty metrics" `Quick test_metrics;
+    Alcotest.test_case "expert feedback" `Quick test_feedback;
+  ]

@@ -1,0 +1,224 @@
+(* Twig substrate tests: pattern parser round-trips, the match engine
+   against an exhaustive reference, and the stack-based structural join
+   against nested loops. *)
+
+module Doc = Uxsm_xml.Doc
+module Schema = Uxsm_schema.Schema
+module Pattern = Uxsm_twig.Pattern
+module Parser = Uxsm_twig.Pattern_parser
+module Matcher = Uxsm_twig.Matcher
+module Binding = Uxsm_twig.Binding
+module Structural_join = Uxsm_twig.Structural_join
+
+let table3_queries =
+  [
+    "Order/DeliverTo/Address[./City][./Country]/Street";
+    "Order/DeliverTo/Contact/EMail";
+    "Order/DeliverTo[./Address/City]/Contact/EMail";
+    "Order/POLine[./LineNo]//UP";
+    "Order/POLine[./LineNo][.//UP]/Quantity";
+    "Order/POLine[./BPID][./LineNo][.//UP]/Quantity";
+    "Order[./DeliverTo//Street]/POLine[.//BPID][.//UP]/Quantity";
+    "Order[./DeliverTo[.//EMail]//Street]/POLine[.//UP]/Quantity";
+    "Order[./Buyer/Contact]/POLine[.//BPID]/Quantity";
+    "Order[./Buyer/Contact][./DeliverTo//City]//BPID";
+  ]
+
+let test_parser_round_trip () =
+  List.iter
+    (fun q ->
+      match Parser.parse q with
+      | Error e -> Alcotest.failf "parse %s: %s" q e
+      | Ok p -> Alcotest.(check string) q q (Pattern.to_string p))
+    table3_queries
+
+let test_parser_axes_and_values () =
+  let p = Parser.parse_exn "//IP//ICN" in
+  Alcotest.(check bool) "descendant root" true (p.Pattern.axis = Pattern.Descendant);
+  Alcotest.(check int) "two nodes" 2 (Pattern.size p);
+  let p2 = Parser.parse_exn "Order/City=\"HK\"" in
+  (match (Pattern.nodes p2 : Pattern.node list) with
+  | [ _; city ] -> Alcotest.(check (option string)) "value" (Some "HK") city.Pattern.value
+  | _ -> Alcotest.fail "expected 2 nodes");
+  match Parser.parse "Order/" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing slash should not parse"
+
+let test_matcher_fig2 () =
+  let doc = Fixtures.fig2_doc in
+  let q = Parser.parse_exn "//BP//BCN" in
+  (match Matcher.matches q doc with
+  | [ b ] -> Alcotest.(check string) "Cathy" "Cathy" (Doc.text doc b.(1))
+  | l -> Alcotest.failf "expected 1 match, got %d" (List.length l));
+  let q2 = Parser.parse_exn "Order/BP[./BOC/BCN]/ROC/RCN" in
+  Alcotest.(check int) "predicate query matches once" 1 (Matcher.count q2 doc);
+  let q3 = Parser.parse_exn "//BCN=\"Cathy\"" in
+  Alcotest.(check int) "value predicate hits" 1 (Matcher.count q3 doc);
+  let q4 = Parser.parse_exn "//BCN=\"Bob\"" in
+  Alcotest.(check int) "value predicate misses" 0 (Matcher.count q4 doc)
+
+let attr_doc =
+  let open Uxsm_xml.Tree in
+  Doc.of_tree
+    (element "r"
+       [
+         element ~attrs:[ ("id", "1"); ("kind", "x") ] "a" [ leaf "b" "t1" ];
+         element ~attrs:[ ("id", "2") ] "a" [ leaf "b" "t2" ];
+       ])
+
+let test_wildcards_and_attrs () =
+  let q = Parser.parse_exn "r/*/b" in
+  Alcotest.(check int) "wildcard step" 2 (Matcher.count q attr_doc);
+  let q2 = Parser.parse_exn "//a[@id=\"2\"]/b" in
+  (match Matcher.matches q2 attr_doc with
+  | [ b ] -> Alcotest.(check string) "attr predicate selects" "t2" (Doc.text attr_doc b.(1))
+  | l -> Alcotest.failf "expected 1 match, got %d" (List.length l));
+  let q3 = Parser.parse_exn "//a[@id=\"1\"][@kind=\"x\"]" in
+  Alcotest.(check int) "conjunction of attrs" 1 (Matcher.count q3 attr_doc);
+  let q4 = Parser.parse_exn "//a[@id=\"1\"][@kind=\"y\"]" in
+  Alcotest.(check int) "failing attr" 0 (Matcher.count q4 attr_doc);
+  let q5 = Parser.parse_exn "//*" in
+  Alcotest.(check int) "bare wildcard binds every element" 5 (Matcher.count q5 attr_doc);
+  (* all engines agree on attr/wildcard patterns *)
+  List.iter
+    (fun qs ->
+      let q = Parser.parse_exn qs in
+      let m = Matcher.matches q attr_doc in
+      Alcotest.(check bool) (qs ^ ": join agrees") true
+        (Uxsm_twig.Join_matcher.matches q attr_doc = m);
+      Alcotest.(check bool) (qs ^ ": twiglist agrees") true
+        (Uxsm_twig.Twiglist.matches q attr_doc = m))
+    [ "r/*/b"; "//a[@id=\"2\"]/b"; "//*"; "r[./*/b]//b" ]
+
+let test_parser_wildcard_attr_round_trip () =
+  List.iter
+    (fun qs ->
+      match Parser.parse qs with
+      | Error e -> Alcotest.failf "parse %s: %s" qs e
+      | Ok p -> Alcotest.(check string) qs qs (Pattern.to_string p))
+    [ "r/*/b"; "//a[@id=\"2\"]/b"; "//*[@k=\"v\"]"; "a[@x=\"1\"][./b]//c" ]
+
+(* Exhaustive reference: try every assignment of pattern nodes to document
+   nodes and keep the consistent ones. Only usable on tiny inputs. *)
+let reference_matches (p : Pattern.t) doc =
+  let nodes = Array.of_list (Pattern.nodes p) in
+  let n = Array.length nodes in
+  (* parent link and axis for each pattern node *)
+  let parent = Array.make n (-1) in
+  let axis = Array.make n Pattern.Child in
+  let next = ref 0 in
+  let rec walk (node : Pattern.node) self =
+    List.iter
+      (fun (a, c) ->
+        incr next;
+        let cid = !next in
+        parent.(cid) <- self;
+        axis.(cid) <- a;
+        walk c cid)
+      (Pattern.branches node)
+  in
+  walk p.Pattern.root 0;
+  let ok (b : Binding.t) =
+    let structural i =
+      if i = 0 then
+        match p.Pattern.axis with
+        | Pattern.Child -> b.(0) = Doc.root doc
+        | Pattern.Descendant -> true
+      else
+        match axis.(i) with
+        | Pattern.Child -> Doc.is_parent doc b.(parent.(i)) b.(i)
+        | Pattern.Descendant -> Doc.is_ancestor doc b.(parent.(i)) b.(i)
+    in
+    let local i =
+      (Pattern.is_wildcard nodes.(i)
+      || String.equal (nodes.(i)).Pattern.label (Doc.label doc b.(i)))
+      && (match (nodes.(i)).Pattern.value with
+         | None -> true
+         | Some v -> String.equal v (Doc.text doc b.(i)))
+      && List.for_all
+           (fun (k, want) -> Doc.attr doc b.(i) k = Some want)
+           (nodes.(i)).Pattern.attrs
+    in
+    List.for_all (fun i -> structural i && local i) (List.init n Fun.id)
+  in
+  let out = ref [] in
+  let b = Array.make n 0 in
+  let rec assign i =
+    if i = n then begin
+      if ok b then out := Array.copy b :: !out
+    end
+    else
+      for v = 0 to Doc.size doc - 1 do
+        b.(i) <- v;
+        assign (i + 1)
+      done
+  in
+  assign 0;
+  List.sort Binding.compare !out
+
+let prop_matcher_vs_reference =
+  QCheck.Test.make ~count:150 ~name:"matcher agrees with exhaustive reference"
+    QCheck.(pair (int_range 1 1000000) (int_range 2 8))
+    (fun (seed, n) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let schema = Fixtures.random_schema prng ~n in
+      let doc = Fixtures.random_doc prng schema in
+      let pattern = Fixtures.random_pattern prng schema in
+      if Pattern.size pattern > 4 || Doc.size doc > 10 then true (* keep reference tractable *)
+      else Matcher.matches pattern doc = reference_matches pattern doc)
+
+let prop_join_vs_nested_loops =
+  QCheck.Test.make ~count:150 ~name:"stack join = nested-loop join"
+    QCheck.(pair (int_range 1 1000000) (int_range 3 40))
+    (fun (seed, n) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let schema = Fixtures.random_schema prng ~n in
+      let doc = Fixtures.random_doc prng schema in
+      let sample () =
+        List.filter (fun _ -> Uxsm_util.Prng.bool prng) (List.init (Doc.size doc) Fun.id)
+      in
+      let left = sample () and right = sample () in
+      let check axis =
+        let got = List.sort compare (Structural_join.node_pairs doc ~axis ~left ~right) in
+        let expect =
+          List.concat_map
+            (fun a ->
+              List.filter_map
+                (fun d ->
+                  let rel =
+                    match axis with
+                    | Pattern.Child -> Doc.is_parent doc a d
+                    | Pattern.Descendant -> Doc.is_ancestor doc a d
+                  in
+                  if rel then Some (a, d) else None)
+                right)
+            left
+          |> List.sort compare
+        in
+        got = expect
+      in
+      check Pattern.Child && check Pattern.Descendant)
+
+let prop_parser_round_trip_random =
+  QCheck.Test.make ~count:150 ~name:"parse (to_string p) = p"
+    QCheck.(pair (int_range 1 1000000) (int_range 2 25))
+    (fun (seed, n) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let schema = Fixtures.random_schema prng ~n in
+      let p = Fixtures.random_pattern prng schema in
+      match Parser.parse (Pattern.to_string p) with
+      | Ok p' -> Pattern.equal p p'
+      | Error _ -> false)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "Table III queries round-trip" `Quick test_parser_round_trip;
+    Alcotest.test_case "parser axes and values" `Quick test_parser_axes_and_values;
+    Alcotest.test_case "matcher on Figure 2" `Quick test_matcher_fig2;
+    Alcotest.test_case "wildcards and attribute predicates" `Quick test_wildcards_and_attrs;
+    Alcotest.test_case "wildcard/attr parser round trip" `Quick test_parser_wildcard_attr_round_trip;
+    q prop_matcher_vs_reference;
+    q prop_join_vs_nested_loops;
+    q prop_parser_round_trip_random;
+  ]

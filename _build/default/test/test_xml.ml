@@ -1,0 +1,155 @@
+(* XML substrate tests: parser, printer, and indexed-document invariants. *)
+
+module Tree = Uxsm_xml.Tree
+module Doc = Uxsm_xml.Doc
+module Parser = Uxsm_xml.Parser
+module Printer = Uxsm_xml.Printer
+
+let parse s =
+  match Parser.parse s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse failed: %s" (Parser.error_to_string e)
+
+let test_parse_basics () =
+  let t = parse "<a><b>hi</b><c x=\"1\" y=\"two\"/></a>" in
+  Alcotest.(check int) "two elements under a" 3 (Tree.node_count t);
+  match t with
+  | Tree.Element { name = "a"; children = [ Tree.Element b; Tree.Element c ]; _ } ->
+    Alcotest.(check string) "b name" "b" b.name;
+    Alcotest.(check (list (pair string string))) "c attrs" [ ("x", "1"); ("y", "two") ] c.attrs
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_entities_and_cdata () =
+  let t = parse "<a>x &lt;&amp;&gt; y&#65;&#x42;<![CDATA[<raw>&amp;]]></a>" in
+  Alcotest.(check string) "decoded text" "x <&> yAB<raw>&amp;" (Tree.text_content t)
+
+let test_parse_misc () =
+  let t = parse "<?xml version=\"1.0\"?><!-- hello --><!DOCTYPE a [<!ELEMENT a ANY>]><a/><!-- bye -->" in
+  Alcotest.(check string) "root name" "a" (Tree.name t)
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected a parse error for %s" s
+  in
+  fails "";
+  fails "<a>";
+  fails "<a></b>";
+  fails "<a>&unknown;</a>";
+  fails "<a/><b/>";
+  fails "just text"
+
+let test_printer_escapes () =
+  let t = Tree.element "a" ~attrs:[ ("k", "a\"b&c") ] [ Tree.text "1 < 2 & 3 > 2" ] in
+  let s = Printer.to_string t in
+  Alcotest.(check string) "escaped" "<a k=\"a&quot;b&amp;c\">1 &lt; 2 &amp; 3 &gt; 2</a>" s;
+  Alcotest.(check bool) "round trip" true (Tree.equal t (parse s))
+
+(* Random trees with text leaves for round-trip and indexing properties. *)
+(* Canonical trees only: leaf elements hold a single text node, inner
+   elements hold elements. (Adjacent text nodes cannot round-trip through
+   any serializer, so the generator never produces them.) *)
+let gen_tree =
+  let open QCheck.Gen in
+  let label = oneofl [ "a"; "b"; "c"; "node"; "Item" ] in
+  let text = oneofl [ "x"; "hello world"; "<&>"; "42" ] in
+  let rec tree budget =
+    if budget <= 1 then
+      let* l = label in
+      let* txt = text in
+      return (Tree.leaf l txt)
+    else
+      let* n_kids = int_range 0 3 in
+      if n_kids = 0 then
+        let* l = label in
+        let* txt = text in
+        return (Tree.leaf l txt)
+      else
+        let* l = label in
+        let* kids = flatten_l (List.init n_kids (fun _ -> tree (budget / (n_kids + 1)))) in
+        return (Tree.element l kids)
+  in
+  let* budget = int_range 2 40 in
+  let* l = label in
+  let* kids = flatten_l (List.init 3 (fun _ -> tree budget)) in
+  return (Tree.element l kids)
+
+let arb_tree = QCheck.make gen_tree ~print:(Printer.to_string ~indent:2)
+
+let prop_print_parse_round_trip =
+  QCheck.Test.make ~count:200 ~name:"parse (print t) = t" arb_tree (fun t ->
+      Tree.equal t (parse (Printer.to_string t)))
+
+let prop_pretty_print_parse_round_trip =
+  QCheck.Test.make ~count:200 ~name:"parse (pretty-print t) = t (element structure)" arb_tree
+    (fun t ->
+      (* Indented printing preserves structure; whitespace-only text framing
+         is dropped at parse time, which matches because text only occurs in
+         leaf elements (printed inline). *)
+      Tree.equal t (parse (Printer.to_string ~indent:2 t)))
+
+let prop_doc_indexing =
+  QCheck.Test.make ~count:200 ~name:"Doc invariants: pre/post/level/subtree_end" arb_tree
+    (fun t ->
+      let doc = Doc.of_tree t in
+      let n = Doc.size doc in
+      n = Tree.node_count t
+      && List.for_all
+           (fun v ->
+             (* children have level + 1 and are within the parent interval *)
+             List.for_all
+               (fun u ->
+                 Doc.level doc u = Doc.level doc v + 1
+                 && Doc.is_parent doc v u && Doc.is_ancestor doc v u
+                 && u > v
+                 && u <= Doc.subtree_end doc v)
+               (Doc.children doc v)
+             (* ancestor test agrees with parent chain *)
+             && List.for_all
+                  (fun u ->
+                    let rec chain x =
+                      match Doc.parent doc x with
+                      | None -> false
+                      | Some p -> p = v || chain p
+                    in
+                    Doc.is_ancestor doc v u = chain u)
+                  (List.init n Fun.id))
+           (List.init n Fun.id))
+
+let prop_doc_label_and_path_index =
+  QCheck.Test.make ~count:200 ~name:"nodes_with_label/path are exact" arb_tree (fun t ->
+      let doc = Doc.of_tree t in
+      let n = Doc.size doc in
+      List.for_all
+        (fun l ->
+          Doc.nodes_with_label doc l
+          = List.filter (fun v -> Doc.label doc v = l) (List.init n Fun.id))
+        (Doc.labels doc)
+      && List.for_all
+           (fun v ->
+             let p = String.concat "." (Doc.path doc v) in
+             List.mem v (Doc.nodes_with_path doc p))
+           (List.init n Fun.id))
+
+let test_doc_subtree_and_text () =
+  let doc = Fixtures.fig2_doc in
+  let bp = List.hd (Doc.nodes_with_label doc "BP") in
+  Alcotest.(check string) "subtree text" "CathyBobAlice" (Doc.text doc bp);
+  let sub = Doc.subtree doc bp in
+  Alcotest.(check int) "subtree nodes" 7 (Tree.node_count sub)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "entities and CDATA" `Quick test_parse_entities_and_cdata;
+    Alcotest.test_case "prolog/comments/doctype" `Quick test_parse_misc;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "printer escaping" `Quick test_printer_escapes;
+    Alcotest.test_case "doc subtree and text" `Quick test_doc_subtree_and_text;
+    q prop_print_parse_round_trip;
+    q prop_pretty_print_parse_round_trip;
+    q prop_doc_indexing;
+    q prop_doc_label_and_path_index;
+  ]
