@@ -5,8 +5,73 @@
 
 open Bechamel
 open Toolkit
+module Obs = Uxsm_obs.Obs
+module Bench_json = Uxsm_obs.Bench_json
+module Json = Uxsm_util.Json
 
 let default_quota = ref 0.3
+
+(* JSON recording. [start_recording] arms it; each [section] then closes the
+   previous experiment record (stamping the Obs counter snapshot it
+   accumulated) and opens a new one; [seconds_per_run] logs every measured
+   point; [finalize] appends the whole run to the JSONL trajectory file. *)
+
+type partial = {
+  p_id : string;
+  p_title : string;
+  mutable p_params : (string * Json.t) list;  (* reversed *)
+  p_t0 : float;
+  mutable p_measurements : Bench_json.measurement list;  (* reversed *)
+}
+
+let out_path = ref None
+let completed : Bench_json.experiment list ref = ref []
+let current : partial option ref = ref None
+
+let start_recording path = out_path := Some path
+
+let close_current () =
+  match !current with
+  | None -> ()
+  | Some p ->
+    let e =
+      Bench_json.experiment ~params:(List.rev p.p_params)
+        ~measurements:(List.rev p.p_measurements)
+        ~snapshot:(Obs.snapshot ()) ~id:p.p_id ~title:p.p_title
+        ~wall_seconds:(Unix.gettimeofday () -. p.p_t0)
+        ()
+    in
+    completed := e :: !completed;
+    current := None
+
+let json_param name v =
+  match !current with
+  | None -> ()
+  | Some p -> p.p_params <- (name, v) :: p.p_params
+
+let record_measurement name seconds =
+  match !current with
+  | None -> ()
+  | Some p ->
+    p.p_measurements <-
+      { Bench_json.m_name = name; m_seconds_per_run = seconds } :: p.p_measurements
+
+let finalize ~argv () =
+  close_current ();
+  match !out_path with
+  | None -> ()
+  | Some path ->
+    let run =
+      {
+        Bench_json.r_git_rev = Bench_json.git_rev ();
+        r_unix_time = Unix.time ();
+        r_argv = argv;
+        r_experiments = List.rev !completed;
+      }
+    in
+    Bench_json.append_to_file ~path run;
+    Printf.printf "\nappended %d experiment records to %s\n%!"
+      (List.length run.r_experiments) path
 
 let seconds_per_run ?quota ~name f =
   let quota =
@@ -31,19 +96,35 @@ let seconds_per_run ?quota ~name f =
       (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
       Instance.monotonic_clock raw
   in
-  match Analyze.OLS.estimates ols with
-  | Some [ ns ] when Float.is_finite ns -> ns *. 1e-9
-  | _ ->
-    (* Degenerate sample (e.g. a single very slow run): fall back to one
-       timed execution. *)
-    let t0 = Unix.gettimeofday () in
-    ignore (f ());
-    Unix.gettimeofday () -. t0
+  let seconds =
+    match Analyze.OLS.estimates ols with
+    | Some [ ns ] when Float.is_finite ns -> ns *. 1e-9
+    | _ ->
+      (* Degenerate sample (e.g. a single very slow run): fall back to one
+         timed execution. *)
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      Unix.gettimeofday () -. t0
+  in
+  record_measurement name seconds;
+  seconds
 
 (* Output helpers: every experiment prints a titled section with aligned
    rows so the bench output reads like the paper's tables. *)
 
 let section id title =
+  close_current ();
+  (* Per-experiment counter attribution: every section starts from zero. *)
+  Obs.reset ();
+  current :=
+    Some
+      {
+        p_id = id;
+        p_title = title;
+        p_params = [];
+        p_t0 = Unix.gettimeofday ();
+        p_measurements = [];
+      };
   Printf.printf "\n=== %s: %s ===\n%!" id title
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "    %s\n%!" s) fmt

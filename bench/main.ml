@@ -16,6 +16,10 @@ module Dataset = Uxsm_workload.Dataset
 module Standards = Uxsm_workload.Standards
 module Gen_doc = Uxsm_workload.Gen_doc
 module Queries = Uxsm_workload.Queries
+module Json = Uxsm_util.Json
+
+let float_list xs = Json.List (List.map (fun x -> Json.Float x) xs)
+let int_list xs = Json.List (List.map (fun x -> Json.Int x) xs)
 
 let params ?(tau = 0.2) ?(max_b = 500) ?(max_f = 500) () = { Block_tree.tau; max_b; max_f }
 
@@ -42,6 +46,7 @@ let ms t = t *. 1000.0
 
 let table2 () =
   Harness.section "table2" "Schema matching datasets (|S|, |T|, opt, Cap., o-ratio)";
+  Harness.json_param "h" (Json.Int 100);
   Harness.row "%-4s %-8s %5s %-8s %5s %-4s %5s %8s %8s" "ID" "S" "|S|" "T" "|T|" "opt" "Cap."
     "o-ratio" "(paper)";
   List.iter
@@ -68,6 +73,8 @@ let taus_9ab = [ 0.02; 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
 
 let fig9a () =
   Harness.section "fig9a" "Compression ratio vs tau (D7, |M|=100)";
+  Harness.json_param "h" (Json.Int 100);
+  Harness.json_param "taus" (float_list taus_9ab);
   let mset = d7_mset 100 in
   Harness.row "%6s %18s" "tau" "compression-ratio";
   List.iter
@@ -141,6 +148,8 @@ let fig9d () =
 
 let fig9e () =
   Harness.section "fig9e" "Tc vs MAX_B (D7, |M|=100)";
+  Harness.json_param "h" (Json.Int 100);
+  Harness.json_param "max_b" (int_list [ 20; 60; 100; 160; 200; 260; 300 ]);
   let mset = d7_mset 100 in
   Harness.row "%7s %10s %10s" "MAX_B" "Tc" "#c-blocks";
   List.iter
@@ -238,6 +247,8 @@ let fig10c () =
 
 let fig10d () =
   Harness.section "fig10d" "top-k PTQ: Tq vs k (D7, Q10, |M|=100)";
+  Harness.json_param "h" (Json.Int 100);
+  Harness.json_param "ks" (int_list [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]);
   let tree = Block_tree.build ~params:(params ()) (d7_mset 100) in
   let ctx = context ~tree 100 in
   let normal =
@@ -432,11 +443,35 @@ let experiments =
   ]
 
 let () =
-  let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst experiments
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let json_path = ref None in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | [ "--json" ] ->
+      prerr_endline "--json requires a path";
+      exit 2
+    | id :: rest ->
+      ids := id :: !ids;
+      parse rest
   in
+  parse argv;
+  let selected =
+    match List.rev !ids with
+    | [] -> List.map fst experiments
+    | ids -> ids
+  in
+  (* Every run appends one machine-readable record; default file keyed by
+     the measured revision so baselines of different commits never mix. *)
+  let path =
+    match !json_path with
+    | Some p -> p
+    | None -> Printf.sprintf "BENCH_%s.json" (Uxsm_obs.Bench_json.git_rev ())
+  in
+  Harness.start_recording path;
   Printf.printf "uxsm benchmark harness -- reproduction of Cheng/Gong/Cheung, ICDE 2010\n";
   Printf.printf
     "defaults: |M|=100, tau=0.2, MAX_B=500, MAX_F=500, dataset D7, source doc 3473 nodes\n%!";
@@ -449,4 +484,5 @@ let () =
         Printf.printf "unknown experiment %s (available: %s)\n" id
           (String.concat ", " (List.map fst experiments)))
     selected;
+  Harness.finalize ~argv ();
   Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -255,6 +255,58 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Answer a probabilistic twig query on a dataset.")
     Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ query_str)
 
+(* -------------------------------- stats --------------------------- *)
+
+let stats_cmd =
+  let run d seed h tau k basic from query_str =
+    let module Obs = Uxsm_obs.Obs in
+    Obs.reset ();
+    let query =
+      match query_str with
+      | Some s -> Uxsm_twig.Pattern_parser.parse_exn s
+      | None -> Queries.q7
+    in
+    let mset =
+      match from with
+      | Some path -> load_mapping_set path
+      | None -> Dataset.mapping_set ~seed ~h d
+    in
+    let doc = Gen_doc.generate (Mapping_set.source mset) in
+    let tree = Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } mset in
+    let ctx = Ptq.context ~tree ~mset ~doc () in
+    let answers =
+      match (k, basic) with
+      | Some k, _ -> Ptq.query_topk ctx ~k query
+      | None, true -> Ptq.query_basic ctx query
+      | None, false -> Ptq.query_tree ctx query
+    in
+    Printf.printf "query: %s\n" (Uxsm_twig.Pattern.to_string query);
+    Printf.printf "%d relevant mappings\n\n" (List.length answers);
+    Format.printf "%a@." Obs.pp_snapshot (Obs.nonzero (Obs.snapshot ()))
+  in
+  let d =
+    Arg.(required & pos 0 (some dataset_conv) None & info [] ~docv:"DATASET" ~doc:"D1..D10.")
+  in
+  let query_str =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Twig query (Table III syntax); defaults to Q7.")
+  in
+  let k =
+    Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K" ~doc:"Evaluate as a top-k PTQ.")
+  in
+  let basic =
+    Arg.(value & flag & info [ "basic" ] ~doc:"Use Algorithm 3 instead of the block tree.")
+  in
+  let from =
+    Arg.(value & opt (some string) None & info [ "mappings" ] ~docv:"FILE"
+           ~doc:"Load the mapping set from FILE instead of generating it.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Answer a query like $(b,query), then print the metrics-layer snapshot (counters and \
+             spans of mapping generation, block-tree construction and PTQ evaluation).")
+    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ query_str)
+
 (* --------------------------------- doc ---------------------------- *)
 
 let doc_cmd =
@@ -425,4 +477,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd ]))
+          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; stats_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd ]))

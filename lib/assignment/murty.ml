@@ -1,3 +1,12 @@
+module Obs = Uxsm_obs.Obs
+
+(* Observability: ranking cost drivers (solver work and queue pressure). *)
+let c_solves = Obs.counter "murty.solves"
+let c_augments = Obs.counter "murty.augments"
+let c_expansions = Obs.counter "murty.expansions"
+let c_queue_trims = Obs.counter "murty.queue_trims"
+let s_top = Obs.span "murty.top"
+
 type solution = {
   pairs : (int * int) list;
   score : float;
@@ -82,10 +91,12 @@ let expand g order resolve node push =
     let solved =
       match resolve with
       | `Warm ->
+        Obs.incr c_augments;
         let st = Solver.copy node.st in
         Solver.unmatch st i;
         if Solver.augment g cs st i then Some st else None
       | `Cold ->
+        Obs.incr c_solves;
         let st = Solver.init g in
         List.iter (fun (fi, fj) -> Solver.force st fi fj) !fixed_prefix;
         if Solver.solve g cs st then Some st else None
@@ -106,9 +117,11 @@ let expand g order resolve node push =
 
 let top ?(order = `Degree) ?(resolve = `Warm) ~h g =
   if h <= 0 then []
-  else begin
+  else
+    Obs.time s_top @@ fun () ->
     let root_st = Solver.init g in
     let root_cs = Solver.no_constraints g in
+    Obs.incr c_solves;
     let solved = Solver.solve g root_cs root_st in
     assert solved;
     (* image edges make the root always feasible *)
@@ -124,6 +137,7 @@ let top ?(order = `Degree) ?(resolve = `Warm) ~h g =
     in
     let trim cap =
       while Q.cardinal !queue > cap do
+        Obs.incr c_queue_trims;
         let ((_, uid) as worst) = Q.min_elt !queue in
         queue := Q.remove worst !queue;
         Hashtbl.remove payloads uid
@@ -140,9 +154,9 @@ let top ?(order = `Degree) ?(resolve = `Warm) ~h g =
       results := solution_of g node :: !results;
       incr delivered;
       if !delivered < h then begin
+        Obs.incr c_expansions;
         expand g order resolve node push;
         trim (h - !delivered)
       end
     done;
     List.rev !results
-  end

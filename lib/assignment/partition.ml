@@ -1,3 +1,12 @@
+module Obs = Uxsm_obs.Obs
+
+(* Observability: how much the component decomposition buys. *)
+let c_runs = Obs.counter "partition.runs"
+let c_components = Obs.counter "partition.components"
+let c_component_edges = Obs.counter "partition.component_edges"
+let c_merges = Obs.counter "partition.merges"
+let s_top = Obs.span "partition.top"
+
 type component = {
   lefts : int list;
   rights : int list;
@@ -42,6 +51,7 @@ let components g =
 let empty_solution : Murty.solution = { pairs = []; score = 0.0 }
 
 let merge ~h xs ys =
+  Obs.incr c_merges;
   match (xs, ys) with
   | [], _ | _, [] -> []
   | _ ->
@@ -78,8 +88,12 @@ let merge ~h xs ys =
 
 let top ?order ~h g =
   if h <= 0 then []
-  else begin
+  else
+    Obs.time s_top @@ fun () ->
     let comps = components g in
+    Obs.incr c_runs;
+    Obs.add c_components (List.length comps);
+    List.iter (fun c -> Obs.add c_component_edges (List.length c.edges)) comps;
     let local_top comp =
       (* Re-index the component to a compact bipartite, rank it, and map the
          solutions back to global indices. *)
@@ -103,4 +117,3 @@ let top ?order ~h g =
     List.fold_left
       (fun acc comp -> merge ~h acc (local_top comp))
       [ empty_solution ] comps
-  end

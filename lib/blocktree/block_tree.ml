@@ -1,6 +1,16 @@
 module Schema = Uxsm_schema.Schema
 module Mapping = Uxsm_mapping.Mapping
 module Mapping_set = Uxsm_mapping.Mapping_set
+module Obs = Uxsm_obs.Obs
+
+(* Observability: construction cost drivers (see DESIGN.md, metrics layer). *)
+let c_builds = Obs.counter "blocktree.builds"
+let c_candidates = Obs.counter "blocktree.candidates_tried"
+let c_abandoned = Obs.counter "blocktree.intersections_abandoned"
+let c_max_b_hits = Obs.counter "blocktree.max_b_hits"
+let c_max_f_hits = Obs.counter "blocktree.max_f_hits"
+let c_claims = Obs.counter "blocktree.compression_claims"
+let s_build = Obs.span "blocktree.build"
 
 type params = {
   tau : float;
@@ -31,7 +41,10 @@ let intersect ~atleast a b =
   let out = Array.make (min na nb) 0 in
   let rec go ia ib k =
     if ia >= na || ib >= nb then k
-    else if k + min (na - ia) (nb - ib) < atleast then -1
+    else if k + min (na - ia) (nb - ib) < atleast then begin
+      Obs.incr c_abandoned;
+      -1
+    end
     else if a.(ia) = b.(ib) then begin
       out.(k) <- a.(ia);
       go (ia + 1) (ib + 1) (k + 1)
@@ -44,8 +57,7 @@ let intersect ~atleast a b =
 
 exception Break
 
-let build ?(params = default_params) mset =
-  if params.tau <= 0.0 || params.tau > 1.0 then invalid_arg "Block_tree.build: tau out of (0,1]";
+let build_impl ~params mset =
   let target = Mapping_set.target mset in
   let m = Mapping_set.size mset in
   let thr = threshold_of params.tau m in
@@ -87,6 +99,7 @@ let build ?(params = default_params) mset =
       let count_new = ref 0 in
       let child_lists = List.map (fun k -> nodes.(k)) kids in
       let try_combination (b : Block.t) (tuple : Block.t list) =
+        Obs.incr c_candidates;
         let ids =
           List.fold_left
             (fun acc (cb : Block.t) ->
@@ -106,7 +119,14 @@ let build ?(params = default_params) mset =
           incr count_new;
           incr count
         | Some _ | None -> incr num_trial);
-        if !count >= params.max_b || !num_trial >= params.max_f then raise Break
+        if !count >= params.max_b then begin
+          Obs.incr c_max_b_hits;
+          raise Break
+        end;
+        if !num_trial >= params.max_f then begin
+          Obs.incr c_max_f_hits;
+          raise Break
+        end
       in
       let rec tuples acc = function
         | [] -> List.iter (fun b -> try_combination b (List.rev acc)) own
@@ -148,6 +168,7 @@ let build ?(params = default_params) mset =
     let claim (b : Block.t) id =
       let free = Array.for_all (fun (_, t_el) -> not covered.(id).(t_el)) b.corrs in
       if free then begin
+        Obs.incr c_claims;
         Array.iter (fun (_, t_el) -> covered.(id).(t_el) <- true) b.corrs;
         compressed.(id) <- `Block b :: compressed.(id)
       end
@@ -165,6 +186,11 @@ let build ?(params = default_params) mset =
   done;
 
   { mset; prms = params; threshold = thr; nodes; hash; compressed }
+
+let build ?(params = default_params) mset =
+  if params.tau <= 0.0 || params.tau > 1.0 then invalid_arg "Block_tree.build: tau out of (0,1]";
+  Obs.incr c_builds;
+  Obs.time s_build (fun () -> build_impl ~params mset)
 
 let mapping_set t = t.mset
 let params t = t.prms

@@ -1,0 +1,164 @@
+module Json = Uxsm_util.Json
+
+type measurement = {
+  m_name : string;
+  m_seconds_per_run : float;
+}
+
+type experiment = {
+  e_id : string;
+  e_title : string;
+  e_params : (string * Json.t) list;
+  e_wall_seconds : float;
+  e_measurements : measurement list;
+  e_counters : (string * int) list;
+  e_spans : (string * (int * float)) list;
+}
+
+type run = {
+  r_git_rev : string;
+  r_unix_time : float;
+  r_argv : string list;
+  r_experiments : experiment list;
+}
+
+let experiment ?(params = []) ?(measurements = []) ?snapshot ~id ~title ~wall_seconds () =
+  let snap =
+    match snapshot with
+    | Some s -> Obs.nonzero s
+    | None -> { Obs.snap_counters = []; snap_spans = [] }
+  in
+  {
+    e_id = id;
+    e_title = title;
+    e_params = params;
+    e_wall_seconds = wall_seconds;
+    e_measurements = measurements;
+    e_counters = snap.Obs.snap_counters;
+    e_spans = snap.Obs.snap_spans;
+  }
+
+(* ------------------------------ to JSON --------------------------- *)
+
+let measurement_to_json m =
+  Json.Assoc [ ("name", Json.String m.m_name); ("seconds_per_run", Json.Float m.m_seconds_per_run) ]
+
+let experiment_to_json e =
+  Json.Assoc
+    [
+      ("id", Json.String e.e_id);
+      ("title", Json.String e.e_title);
+      ("params", Json.Assoc e.e_params);
+      ("wall_seconds", Json.Float e.e_wall_seconds);
+      ("measurements", Json.List (List.map measurement_to_json e.e_measurements));
+      ("counters", Json.Assoc (List.map (fun (n, v) -> (n, Json.Int v)) e.e_counters));
+      ( "spans",
+        Json.Assoc
+          (List.map
+             (fun (n, (c, s)) ->
+               (n, Json.Assoc [ ("count", Json.Int c); ("seconds", Json.Float s) ]))
+             e.e_spans) );
+    ]
+
+let run_to_json r =
+  Json.Assoc
+    [
+      ("git_rev", Json.String r.r_git_rev);
+      ("unix_time", Json.Float r.r_unix_time);
+      ("argv", Json.List (List.map (fun a -> Json.String a) r.r_argv));
+      ("experiments", Json.List (List.map experiment_to_json r.r_experiments));
+    ]
+
+let run_to_string r = Json.to_string (run_to_json r)
+
+(* ----------------------------- from JSON -------------------------- *)
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> failf "missing field %S" name
+
+let get what conv name j =
+  match conv (field name j) with
+  | Some v -> v
+  | None -> failf "field %S is not a %s" name what
+
+let str = get "string" Json.to_string_opt
+let num = get "number" Json.to_float
+let items = get "array" Json.to_list
+let fields = get "object" Json.to_assoc
+
+let measurement_of_json j =
+  { m_name = str "name" j; m_seconds_per_run = num "seconds_per_run" j }
+
+let span_of_json name j =
+  (name, (get "int" Json.to_int "count" j, num "seconds" j))
+
+let experiment_of_json j =
+  {
+    e_id = str "id" j;
+    e_title = str "title" j;
+    e_params = fields "params" j;
+    e_wall_seconds = num "wall_seconds" j;
+    e_measurements = List.map measurement_of_json (items "measurements" j);
+    e_counters =
+      List.map
+        (fun (n, v) ->
+          match Json.to_int v with
+          | Some i -> (n, i)
+          | None -> failf "counter %S is not an int" n)
+        (fields "counters" j);
+    e_spans = List.map (fun (n, v) -> span_of_json n v) (fields "spans" j);
+  }
+
+let run_of_json j =
+  try
+    Ok
+      {
+        r_git_rev = str "git_rev" j;
+        r_unix_time = num "unix_time" j;
+        r_argv =
+          List.map
+            (fun a ->
+              match Json.to_string_opt a with
+              | Some s -> s
+              | None -> failf "argv entry is not a string")
+            (items "argv" j);
+        r_experiments = List.map experiment_of_json (items "experiments" j);
+      }
+  with Fail msg -> Error msg
+
+let run_of_string text =
+  match Json.of_string text with
+  | Error e -> Error e
+  | Ok j -> run_of_json j
+
+let runs_of_lines text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match run_of_string line with
+      | Ok r -> go (r :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] lines
+
+let append_to_file ~path r =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (run_to_string r);
+  output_char oc '\n';
+  close_out oc
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try input_line ic with End_of_file -> "" in
+    match (Unix.close_process_in ic, rev) with
+    | Unix.WEXITED 0, rev when rev <> "" -> rev
+    | _ -> "unknown"
+  with _ -> "unknown"

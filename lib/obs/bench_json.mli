@@ -1,0 +1,63 @@
+(** Machine-readable benchmark records.
+
+    One bench invocation produces one {!run}: the git revision it measured,
+    the experiments it executed, and for each experiment its wall time, its
+    named point measurements (seconds per run, from the harness) and the
+    {!Obs} counter/span snapshot accumulated while it ran. Runs are appended
+    to [BENCH_<rev>.json] as one JSON object per line (JSON Lines), so the
+    trajectory of a branch is a diffable, append-only log.
+
+    This lives in the library (not in [bench/]) so tests can round-trip the
+    exact serialization the harness emits. *)
+
+type measurement = {
+  m_name : string;
+  m_seconds_per_run : float;
+}
+
+type experiment = {
+  e_id : string;  (** harness section id, e.g. ["fig9a"] *)
+  e_title : string;
+  e_params : (string * Uxsm_util.Json.t) list;  (** experiment parameters *)
+  e_wall_seconds : float;  (** wall time of the whole section *)
+  e_measurements : measurement list;  (** in emission order *)
+  e_counters : (string * int) list;  (** nonzero {!Obs} counters *)
+  e_spans : (string * (int * float)) list;  (** nonzero spans: count, seconds *)
+}
+
+type run = {
+  r_git_rev : string;
+  r_unix_time : float;  (** seconds since the epoch at run start *)
+  r_argv : string list;
+  r_experiments : experiment list;
+}
+
+val experiment :
+  ?params:(string * Uxsm_util.Json.t) list ->
+  ?measurements:measurement list ->
+  ?snapshot:Obs.snapshot ->
+  id:string ->
+  title:string ->
+  wall_seconds:float ->
+  unit ->
+  experiment
+(** Constructor; the snapshot is filtered through {!Obs.nonzero}. *)
+
+val run_to_json : run -> Uxsm_util.Json.t
+val run_of_json : Uxsm_util.Json.t -> (run, string) result
+
+val run_to_string : run -> string
+(** Single line, no trailing newline. *)
+
+val run_of_string : string -> (run, string) result
+
+val runs_of_lines : string -> (run list, string) result
+(** Parse a whole JSON-Lines file content (blank lines skipped). *)
+
+val append_to_file : path:string -> run -> unit
+(** Append [run_to_string run] plus a newline to [path], creating it if
+    missing. *)
+
+val git_rev : unit -> string
+(** Short revision of the working tree's HEAD, or ["unknown"] outside a git
+    checkout. *)

@@ -1,0 +1,97 @@
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+type span = {
+  s_name : string;
+  mutable s_count : int;
+  mutable s_seconds : float;
+  mutable s_depth : int;  (* re-entrancy depth, to avoid double counting *)
+  mutable s_started : float;  (* start of the outermost active [time] *)
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let spans_tbl : (string, span) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add counters_tbl name c;
+    c
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.add: counters only count up";
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+let name c = c.c_name
+
+let span name =
+  match Hashtbl.find_opt spans_tbl name with
+  | Some s -> s
+  | None ->
+    let s = { s_name = name; s_count = 0; s_seconds = 0.0; s_depth = 0; s_started = 0.0 } in
+    Hashtbl.add spans_tbl name s;
+    s
+
+let now () = Unix.gettimeofday ()
+
+let time s f =
+  if s.s_depth = 0 then s.s_started <- now ();
+  s.s_depth <- s.s_depth + 1;
+  let finish () =
+    s.s_depth <- s.s_depth - 1;
+    s.s_count <- s.s_count + 1;
+    if s.s_depth = 0 then s.s_seconds <- s.s_seconds +. (now () -. s.s_started)
+  in
+  match f () with
+  | x ->
+    finish ();
+    x
+  | exception e ->
+    finish ();
+    raise e
+
+let span_count s = s.s_count
+let span_seconds s = s.s_seconds
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
+  Hashtbl.iter
+    (fun _ s ->
+      s.s_count <- 0;
+      s.s_seconds <- 0.0;
+      s.s_depth <- 0)
+    spans_tbl
+
+let sorted_assoc fold tbl =
+  Hashtbl.fold fold tbl [] |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () = sorted_assoc (fun name c acc -> (name, c.c_value) :: acc) counters_tbl
+let spans () = sorted_assoc (fun name s acc -> (name, (s.s_count, s.s_seconds)) :: acc) spans_tbl
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_spans : (string * (int * float)) list;
+}
+
+let snapshot () = { snap_counters = counters (); snap_spans = spans () }
+
+let nonzero snap =
+  {
+    snap_counters = List.filter (fun (_, v) -> v <> 0) snap.snap_counters;
+    snap_spans = List.filter (fun (_, (n, _)) -> n <> 0) snap.snap_spans;
+  }
+
+let pp_snapshot fmt snap =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun (n, v) -> Format.fprintf fmt "%-42s %12d@ " n v) snap.snap_counters;
+  List.iter
+    (fun (n, (c, s)) -> Format.fprintf fmt "%-42s %12d %10.3fms@ " n c (1000.0 *. s))
+    snap.snap_spans;
+  Format.fprintf fmt "@]"

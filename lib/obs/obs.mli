@@ -1,0 +1,69 @@
+(** Lightweight observability: named counters and wall-clock spans behind a
+    global registry.
+
+    Hot paths (block-tree construction, PTQ evaluation, top-h ranking) bump
+    pre-resolved {!counter} handles — one mutable [int] each, no hashing per
+    event — while the registry supports {!reset} and deterministic
+    {!snapshot}s for the benchmark harness, the CLI [stats] subcommand and
+    tests. The [EXPLAIN]-style statistics of [Ptq.explain] are deltas of
+    these counters.
+
+    The registry is process-global and not synchronized: the library is
+    single-domain, as are the harness and CLI. Counter values are
+    monotonically non-decreasing between {!reset}s. *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] returns the registered counter for [name], creating it at
+    zero on first use. Handles obtained for equal names alias the same
+    cell, so they are normally bound once at module initialization. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** [add c n] requires [n >= 0]; raises [Invalid_argument] otherwise
+    (counters only count up — see the monotonicity contract above). *)
+
+val value : counter -> int
+val name : counter -> string
+
+type span
+
+val span : string -> span
+(** Like {!counter}, for a named wall-clock span. *)
+
+val time : span -> (unit -> 'a) -> 'a
+(** [time s f] runs [f], attributing its wall time to [s]. Spans nest:
+    distinct spans accumulate independently, and re-entering the {e same}
+    span recursively accumulates only the outermost duration (no double
+    counting). Exceptions propagate; the elapsed time is still recorded. *)
+
+val span_count : span -> int
+(** Completed [time] invocations since the last {!reset}. *)
+
+val span_seconds : span -> float
+(** Accumulated wall seconds since the last {!reset}. *)
+
+val reset : unit -> unit
+(** Zero every registered counter and span. Registration survives, so
+    handles stay valid and snapshots keep a stable shape. *)
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its value, sorted by name. *)
+
+val spans : unit -> (string * (int * float)) list
+(** Every registered span as [(name, (count, seconds))], sorted by name. *)
+
+type snapshot = {
+  snap_counters : (string * int) list;  (** sorted by name *)
+  snap_spans : (string * (int * float)) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val nonzero : snapshot -> snapshot
+(** Drop zero counters and zero-count spans — the interesting part of a
+    snapshot after a run. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Human-readable rendering, one line per entry. *)

@@ -8,6 +8,21 @@ module Mapping = Uxsm_mapping.Mapping
 module Mapping_set = Uxsm_mapping.Mapping_set
 module Block = Uxsm_blocktree.Block
 module Block_tree = Uxsm_blocktree.Block_tree
+module Obs = Uxsm_obs.Obs
+
+(* Observability: evaluation cost drivers, shared with the bench harness and
+   the CLI [stats] subcommand. [explain] reports deltas of these counters. *)
+let c_queries = Obs.counter "ptq.queries"
+let c_rewrites = Obs.counter "ptq.rewrites"
+let c_matcher = Obs.counter "ptq.matcher_invocations"
+let c_blocks_used = Obs.counter "ptq.blocks_used"
+let c_shared = Obs.counter "ptq.shared_evaluations"
+let c_direct = Obs.counter "ptq.direct_evaluations"
+let c_decomp = Obs.counter "ptq.decompositions"
+let c_joins = Obs.counter "ptq.joins"
+let c_join_pairs = Obs.counter "ptq.join_pairs"
+let s_basic = Obs.span "ptq.query_basic"
+let s_tree = Obs.span "ptq.query_tree"
 
 type context = {
   mset : Mapping_set.t;
@@ -73,9 +88,12 @@ let rewrite_and_match ctx idx q resolution ~at_top ~lookup =
   let source = Mapping_set.source ctx.mset in
   let pat = subpattern idx q in
   let res = sub_resolution idx q resolution in
+  Obs.incr c_rewrites;
   match Rewrite.through ~source ~pattern:pat ~resolution:res ~at_top ~lookup with
   | None -> []
-  | Some pat_s -> List.map (globalize idx q) (Matcher.matches pat_s ctx.doc)
+  | Some pat_s ->
+    Obs.incr c_matcher;
+    List.map (globalize idx q) (Matcher.matches pat_s ctx.doc)
 
 let lookup_of_mapping m y = Mapping.source_of m y
 
@@ -108,34 +126,46 @@ let answers_of_table ctx per_mapping ids =
       })
     ids
 
-let in_restriction restrict i =
-  match restrict with
-  | None -> true
-  | Some tbl -> Hashtbl.mem tbl i
-
-(* Algorithm 3. *)
-let query_basic_restricted ctx ~restrict pattern =
-  let idx = index_pattern pattern in
-  let resolutions = resolutions_of ctx pattern in
-  let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
-  let relevant = ref [] in
+(* Which resolutions (as indices into [res]) each mapping covers, as an
+   ascending-id assoc list; mappings covering none are omitted. Both
+   evaluators consume this table, and {!query_topk} computes it exactly once
+   — ranking and restricted evaluation share the same coverage pass. *)
+let coverage_of ctx (res : Resolve.t array) =
+  let cov = ref [] in
   for i = Mapping_set.size ctx.mset - 1 downto 0 do
     let m = Mapping_set.mapping ctx.mset i in
-    let mine = if in_restriction restrict i then List.filter (covers m) resolutions else [] in
-    if mine <> [] then begin
-      relevant := i :: !relevant;
-      let bindings =
-        List.concat_map
-          (fun resolution ->
-            rewrite_and_match ctx idx 0 resolution ~at_top:true ~lookup:(lookup_of_mapping m))
-          mine
-      in
-      Hashtbl.replace per_mapping i bindings
-    end
+    let covered = ref [] in
+    for r = Array.length res - 1 downto 0 do
+      if covers m res.(r) then covered := r :: !covered
+    done;
+    if !covered <> [] then cov := (i, !covered) :: !cov
   done;
-  answers_of_table ctx per_mapping !relevant
+  !cov
 
-let query_basic ctx pattern = query_basic_restricted ctx ~restrict:None pattern
+(* Algorithm 3 over a precomputed coverage table. *)
+let query_basic_cov ctx idx (res : Resolve.t array) cov =
+  Obs.time s_basic (fun () ->
+      let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (i, covered) ->
+          let m = Mapping_set.mapping ctx.mset i in
+          Obs.add c_direct (List.length covered);
+          let bindings =
+            List.concat_map
+              (fun r ->
+                rewrite_and_match ctx idx 0 res.(r) ~at_top:true
+                  ~lookup:(lookup_of_mapping m))
+              covered
+          in
+          Hashtbl.replace per_mapping i bindings)
+        cov;
+      answers_of_table ctx per_mapping (List.map fst cov))
+
+let query_basic ctx pattern =
+  Obs.incr c_queries;
+  let idx = index_pattern pattern in
+  let res = Array.of_list (resolutions_of ctx pattern) in
+  query_basic_cov ctx idx res (coverage_of ctx res)
 
 type stats = {
   resolutions : int;
@@ -147,26 +177,10 @@ type stats = {
   joins : int;
 }
 
-type stats_acc = {
-  mutable s_blocks_used : int;
-  mutable s_shared : int;
-  mutable s_direct : int;
-  mutable s_decomp : int;
-  mutable s_joins : int;
-}
-
-let fresh_acc () =
-  { s_blocks_used = 0; s_shared = 0; s_direct = 0; s_decomp = 0; s_joins = 0 }
-
 (* Algorithm 4: one subtree evaluation per c-block; decomposition plus
    stack joins elsewhere. [eval] returns, per mapping id, the bindings of
    the subquery rooted at [q] (positions unconstrained unless [at_top]). *)
-let eval_with_tree ?acc ctx tree idx resolution ~mids =
-  let bump f =
-    match acc with
-    | Some a -> f a
-    | None -> ()
-  in
+let eval_with_tree ctx tree idx resolution ~mids =
   let source = Mapping_set.source ctx.mset in
   let mapping i = Mapping_set.mapping ctx.mset i in
   let rec eval q ~at_top mids : (int, Binding.t list) Hashtbl.t =
@@ -181,9 +195,8 @@ let eval_with_tree ?acc ctx tree idx resolution ~mids =
           let mine, rest = List.partition (Block.mem_mapping b) !remaining in
           remaining := rest;
           if mine <> [] then begin
-            bump (fun a ->
-                a.s_blocks_used <- a.s_blocks_used + 1;
-                a.s_shared <- a.s_shared + 1);
+            Obs.incr c_blocks_used;
+            Obs.incr c_shared;
             let bindings =
               rewrite_and_match ctx idx q resolution ~at_top ~lookup:(Block.source_of b)
             in
@@ -192,7 +205,7 @@ let eval_with_tree ?acc ctx tree idx resolution ~mids =
         blocks;
       List.iter
         (fun i ->
-          bump (fun a -> a.s_direct <- a.s_direct + 1);
+          Obs.incr c_direct;
           let bindings =
             rewrite_and_match ctx idx q resolution ~at_top
               ~lookup:(lookup_of_mapping (mapping i))
@@ -205,7 +218,7 @@ let eval_with_tree ?acc ctx tree idx resolution ~mids =
       (* Leaf subquery: evaluate directly per mapping. *)
       List.iter
         (fun i ->
-          bump (fun a -> a.s_direct <- a.s_direct + 1);
+          Obs.incr c_direct;
           let bindings =
             rewrite_and_match ctx idx q resolution ~at_top
               ~lookup:(lookup_of_mapping (mapping i))
@@ -217,7 +230,7 @@ let eval_with_tree ?acc ctx tree idx resolution ~mids =
     else begin
       (* split_query: root-only subquery q0, then one subquery per branch,
          joined per mapping with the stack join. *)
-      bump (fun a -> a.s_decomp <- a.s_decomp + 1);
+      Obs.incr c_decomp;
       let root_value = idx.nodes.(q).Pattern.value in
       let root_attrs = idx.nodes.(q).Pattern.attrs in
       let child_tables =
@@ -264,9 +277,13 @@ let eval_with_tree ?acc ctx tree idx resolution ~mids =
                 match Rewrite.axis_for source ~parent_src:xp ~child_src:xc with
                 | None -> []
                 | Some axis ->
-                  bump (fun a -> a.s_joins <- a.s_joins + 1);
-                  Structural_join.join_bindings ctx.doc ~axis ~left:acc ~left_col:q
-                    ~right:rj ~right_col:cid)
+                  Obs.incr c_joins;
+                  let joined =
+                    Structural_join.join_bindings ctx.doc ~axis ~left:acc ~left_col:q
+                      ~right:rj ~right_col:cid
+                  in
+                  Obs.add c_join_pairs (List.length joined);
+                  joined)
               | _, _ -> [])
           in
           let result = Array.fold_left join r0 child_tables in
@@ -277,59 +294,64 @@ let eval_with_tree ?acc ctx tree idx resolution ~mids =
   in
   eval 0 ~at_top:true mids
 
-let query_tree_restricted ?acc ctx ~restrict pattern =
+(* Algorithm 4 over a precomputed coverage table: one [eval_with_tree] per
+   resolution, restricted to the mappings that cover it. *)
+let query_tree_cov ctx idx (res : Resolve.t array) cov =
   let tree =
     match ctx.tree with
     | Some t -> t
     | None -> invalid_arg "Ptq.query_tree: context has no block tree"
   in
-  let idx = index_pattern pattern in
-  let resolutions = resolutions_of ctx pattern in
-  let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
-  let relevant = ref [] in
-  let seen = Hashtbl.create 64 in
-  List.iter
-    (fun resolution ->
-      let mids =
-        List.filter
-          (fun i ->
-            in_restriction restrict i && covers (Mapping_set.mapping ctx.mset i) resolution)
-          (List.init (Mapping_set.size ctx.mset) Fun.id)
-      in
-      if mids <> [] then begin
-        let table = eval_with_tree ?acc ctx tree idx resolution ~mids in
-        List.iter
-          (fun i ->
-            if not (Hashtbl.mem seen i) then begin
-              Hashtbl.add seen i ();
-              relevant := i :: !relevant
-            end;
-            let bindings = try Hashtbl.find table i with Not_found -> [] in
-            let prev = try Hashtbl.find per_mapping i with Not_found -> [] in
-            Hashtbl.replace per_mapping i (bindings @ prev))
-          mids
-      end)
-    resolutions;
-  answers_of_table ctx per_mapping (List.sort Int.compare !relevant)
+  Obs.time s_tree (fun () ->
+      let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
+      for r = 0 to Array.length res - 1 do
+        let mids =
+          List.filter_map
+            (fun (i, covered) -> if List.mem r covered then Some i else None)
+            cov
+        in
+        if mids <> [] then begin
+          let table = eval_with_tree ctx tree idx res.(r) ~mids in
+          List.iter
+            (fun i ->
+              let bindings = try Hashtbl.find table i with Not_found -> [] in
+              let prev = try Hashtbl.find per_mapping i with Not_found -> [] in
+              Hashtbl.replace per_mapping i (bindings @ prev))
+            mids
+        end
+      done;
+      answers_of_table ctx per_mapping (List.map fst cov))
 
-let query_tree ctx pattern = query_tree_restricted ctx ~restrict:None pattern
+let query_tree ctx pattern =
+  Obs.incr c_queries;
+  let idx = index_pattern pattern in
+  let res = Array.of_list (resolutions_of ctx pattern) in
+  query_tree_cov ctx idx res (coverage_of ctx res)
 
 let take k l = List.filteri (fun i _ -> i < k) l
 
 let query_topk ctx ~k pattern =
   if k <= 0 then invalid_arg "Ptq.query_topk: k must be positive";
-  let relevant = filter_mappings ctx pattern in
+  Obs.incr c_queries;
+  let idx = index_pattern pattern in
+  let res = Array.of_list (resolutions_of ctx pattern) in
+  (* One coverage pass serves both the probability ranking and the
+     restricted evaluation; the evaluators never re-test [covers], and
+     non-selected mappings are dropped before any rewrite work. *)
+  let cov = coverage_of ctx res in
   let by_prob =
     List.sort
-      (fun i j -> Float.compare (Mapping_set.probability ctx.mset j) (Mapping_set.probability ctx.mset i))
-      relevant
+      (fun (i, _) (j, _) ->
+        Float.compare (Mapping_set.probability ctx.mset j) (Mapping_set.probability ctx.mset i))
+      cov
   in
   let keep = take k by_prob in
   let keep_set = Hashtbl.create k in
-  List.iter (fun i -> Hashtbl.replace keep_set i ()) keep;
+  List.iter (fun (i, _) -> Hashtbl.replace keep_set i ()) keep;
+  let cov_keep = List.filter (fun (i, _) -> Hashtbl.mem keep_set i) cov in
   match ctx.tree with
-  | Some _ -> query_tree_restricted ctx ~restrict:(Some keep_set) pattern
-  | None -> query_basic_restricted ctx ~restrict:(Some keep_set) pattern
+  | Some _ -> query_tree_cov ctx idx res cov_keep
+  | None -> query_basic_cov ctx idx res cov_keep
 
 let query ctx pattern =
   match ctx.tree with
@@ -362,42 +384,34 @@ let consolidate answers =
   Hashtbl.fold (fun b p acc -> (b, p) :: acc) tbl []
   |> List.sort (fun (_, p1) (_, p2) -> Float.compare p2 p1)
 
+(* EXPLAIN as counter deltas: the query bumps the shared Obs counters, and
+   single-domain execution makes before/after differences exact. *)
 let explain ctx pattern =
   let n_resolutions = List.length (resolutions_of ctx pattern) in
-  match ctx.tree with
-  | Some _ ->
-    let acc = fresh_acc () in
-    let answers = query_tree_restricted ~acc ctx ~restrict:None pattern in
-    ( {
-        resolutions = n_resolutions;
-        relevant_mappings = List.length answers;
-        blocks_used = acc.s_blocks_used;
-        shared_evaluations = acc.s_shared;
-        direct_evaluations = acc.s_direct;
-        decompositions = acc.s_decomp;
-        joins = acc.s_joins;
-      },
-      answers )
-  | None ->
-    let resolutions = resolutions_of ctx pattern in
-    let answers = query_basic ctx pattern in
-    let direct =
-      List.fold_left
-        (fun n (a : answer) ->
-          let m = Mapping_set.mapping ctx.mset a.mapping_id in
-          n + List.length (List.filter (covers m) resolutions))
-        0 answers
-    in
-    ( {
-        resolutions = n_resolutions;
-        relevant_mappings = List.length answers;
-        blocks_used = 0;
-        shared_evaluations = 0;
-        direct_evaluations = direct;
-        decompositions = 0;
-        joins = 0;
-      },
-      answers )
+  let grab () =
+    ( Obs.value c_blocks_used,
+      Obs.value c_shared,
+      Obs.value c_direct,
+      Obs.value c_decomp,
+      Obs.value c_joins )
+  in
+  let b0, s0, d0, de0, j0 = grab () in
+  let answers =
+    match ctx.tree with
+    | Some _ -> query_tree ctx pattern
+    | None -> query_basic ctx pattern
+  in
+  let b1, s1, d1, de1, j1 = grab () in
+  ( {
+      resolutions = n_resolutions;
+      relevant_mappings = List.length answers;
+      blocks_used = b1 - b0;
+      shared_evaluations = s1 - s0;
+      direct_evaluations = d1 - d0;
+      decompositions = de1 - de0;
+      joins = j1 - j0;
+    },
+    answers )
 
 let binding_texts ctx pattern (b : Binding.t) =
   let labels = Pattern.labels pattern in

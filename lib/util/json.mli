@@ -1,0 +1,36 @@
+(** Minimal JSON tree, emitter and parser.
+
+    The benchmark harness serializes machine-readable run records
+    ([BENCH_<rev>.json]) with this module, and tests parse them back; no
+    external JSON dependency is used. The representation distinguishes
+    integers from floats so counter values survive a round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialization. Floats are printed with enough
+    digits to round-trip; non-finite floats are emitted as [null] since JSON
+    cannot represent them. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing garbage
+    is an error). Numbers without [.], [e] or [E] parse as {!Int}. *)
+
+val member : string -> t -> t option
+(** [member key (Assoc ...)] looks a field up; [None] on missing keys or
+    non-objects. *)
+
+val to_float : t -> float option
+(** Numeric accessor: accepts both {!Int} and {!Float}. *)
+
+val to_int : t -> int option
+val to_list : t -> t list option
+val to_assoc : t -> (string * t) list option
+val to_string_opt : t -> string option

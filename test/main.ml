@@ -2,6 +2,7 @@ let () =
   Alcotest.run "uxsm"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("xml", Test_xml.suite);
       ("schema", Test_schema.suite);
       ("matcher", Test_matcher.suite);

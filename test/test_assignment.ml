@@ -117,6 +117,71 @@ let prop_components_partition_edges =
       let all = List.concat_map (fun (c : Partition.component) -> c.edges) comps in
       List.sort compare all = List.sort compare (Bipartite.edges g))
 
+(* Differential test: Partition.top must equal Murty.top as a *solution
+   set* — scores and pair sets — on sparse bipartites that stress its edge
+   cases: isolated left/right nodes (which join no component in
+   [Partition.components]), tied scores (the weight pool is tiny, so equal
+   totals are common), and single-component graphs. Both sides are asked
+   for every solution, so tie order cannot mask a divergence. *)
+
+let gen_graph_with_isolated =
+  let open QCheck.Gen in
+  let* nl_core = int_range 1 4 in
+  let* nr_core = int_range 1 4 in
+  let* iso_l = int_range 0 2 in
+  let* iso_r = int_range 0 2 in
+  let all_pairs =
+    List.concat_map (fun i -> List.init nr_core (fun j -> (i, j))) (List.init nl_core Fun.id)
+  in
+  let* kept = flatten_l (List.map (fun p -> map (fun b -> (p, b)) bool) all_pairs) in
+  let chosen = List.filter_map (fun (p, b) -> if b then Some p else None) kept in
+  (* Weights from {0.25, 0.5, 0.75, 1.0}: ties across solutions are common. *)
+  let* weights = flatten_l (List.map (fun _ -> int_range 1 4) chosen) in
+  let edges = List.map2 (fun (i, j) k -> (i, j, float_of_int k /. 4.0)) chosen weights in
+  (* Nodes beyond the core are isolated by construction. *)
+  return (Bipartite.create ~n_left:(nl_core + iso_l) ~n_right:(nr_core + iso_r) edges)
+
+let arb_graph_with_isolated =
+  QCheck.make gen_graph_with_isolated ~print:(fun g ->
+      Printf.sprintf "nl=%d nr=%d edges=[%s]" (Bipartite.n_left g) (Bipartite.n_right g)
+        (String.concat "; "
+           (List.map (fun (i, j, w) -> Printf.sprintf "(%d,%d,%.2f)" i j w) (Bipartite.edges g))))
+
+let normalized_solutions sols =
+  List.map (fun (s : Murty.solution) -> (s.score, List.sort compare s.pairs)) sols
+  |> List.sort (fun (s1, p1) (s2, p2) ->
+         match Float.compare s2 s1 with
+         | 0 -> compare p1 p2
+         | c -> c)
+
+let partition_equals_murty g =
+  let n_solutions = List.length (brute_force_solutions g) in
+  let m = normalized_solutions (Murty.top ~h:n_solutions g) in
+  let p = normalized_solutions (Partition.top ~h:n_solutions g) in
+  m = p
+
+let prop_partition_differential =
+  QCheck.Test.make ~count:300
+    ~name:"differential: Partition.top = Murty.top (scores AND pair sets, isolated nodes)"
+    arb_graph_with_isolated partition_equals_murty
+
+let test_partition_differential_cases () =
+  let check name g =
+    Alcotest.(check bool) name true (partition_equals_murty g)
+  in
+  (* Isolated nodes on both sides around a single tied pair of edges. *)
+  check "isolated + tie"
+    (Bipartite.create ~n_left:4 ~n_right:4 [ (1, 0, 0.5); (2, 3, 0.5) ]);
+  (* Single component: a path s0-t0-s1-t1 with equal weights. *)
+  check "single component, tied scores"
+    (Bipartite.create ~n_left:2 ~n_right:2 [ (0, 0, 0.5); (1, 0, 0.5); (1, 1, 0.5) ]);
+  (* Only isolated nodes: both sides must return exactly the empty solution. *)
+  check "no edges at all" (Bipartite.create ~n_left:3 ~n_right:2 []);
+  (* Two components of different sizes plus an isolated right node. *)
+  check "two components + isolated right"
+    (Bipartite.create ~n_left:3 ~n_right:4
+       [ (0, 0, 1.0); (0, 1, 0.25); (1, 1, 0.25); (2, 2, 0.75) ])
+
 let test_fig7_example () =
   (* The bipartite of Figure 7: s1..s4 vs t1..t3 with the drawn edges. *)
   let g =
@@ -160,6 +225,9 @@ let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
     Alcotest.test_case "Figure 7/8 example" `Quick test_fig7_example;
+    Alcotest.test_case "partition = murty, crafted edge cases" `Quick
+      test_partition_differential_cases;
+    q prop_partition_differential;
     Alcotest.test_case "merge top-h" `Quick test_merge_top_h;
     Alcotest.test_case "empty graph" `Quick test_empty_graph;
     Alcotest.test_case "create validation" `Quick test_create_validation;

@@ -1,0 +1,240 @@
+(* Tests for the observability layer: Obs counters/spans, the Json
+   emitter/parser, and the Bench_json record round-trip the bench harness
+   relies on. Obs state is process-global, so every test starts from
+   [Obs.reset]. *)
+
+module Obs = Uxsm_obs.Obs
+module Bench_json = Uxsm_obs.Bench_json
+module Json = Uxsm_util.Json
+
+let test_counter_basics () =
+  Obs.reset ();
+  let c = Obs.counter "test.basics" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 5;
+  Alcotest.(check int) "incr and add accumulate" 7 (Obs.value c);
+  Alcotest.(check string) "name" "test.basics" (Obs.name c);
+  let c' = Obs.counter "test.basics" in
+  Obs.incr c';
+  Alcotest.(check int) "same name aliases the same cell" 8 (Obs.value c)
+
+let test_counter_monotone () =
+  Obs.reset ();
+  let c = Obs.counter "test.monotone" in
+  let last = ref (Obs.value c) in
+  for i = 0 to 19 do
+    if i mod 3 = 0 then Obs.incr c else Obs.add c i;
+    let v = Obs.value c in
+    Alcotest.(check bool) "never decreases" true (v >= !last);
+    last := v
+  done;
+  Alcotest.check_raises "add rejects negatives"
+    (Invalid_argument "Obs.add: counters only count up") (fun () -> Obs.add c (-1))
+
+let test_reset () =
+  Obs.reset ();
+  let c = Obs.counter "test.reset" in
+  let s = Obs.span "test.reset_span" in
+  Obs.add c 42;
+  ignore (Obs.time s (fun () -> 1 + 1));
+  Obs.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Obs.value c);
+  Alcotest.(check int) "span count zeroed" 0 (Obs.span_count s);
+  Alcotest.(check (float 0.0)) "span seconds zeroed" 0.0 (Obs.span_seconds s);
+  Alcotest.(check bool) "registration survives reset" true
+    (List.mem_assoc "test.reset" (Obs.counters ()))
+
+let test_nested_spans () =
+  Obs.reset ();
+  let outer = Obs.span "test.outer" in
+  let inner = Obs.span "test.inner" in
+  let x =
+    Obs.time outer (fun () ->
+        Obs.time inner (fun () -> ignore (Sys.opaque_identity (Array.init 1000 Fun.id)));
+        17)
+  in
+  Alcotest.(check int) "result passes through" 17 x;
+  Alcotest.(check int) "outer counted" 1 (Obs.span_count outer);
+  Alcotest.(check int) "inner counted" 1 (Obs.span_count inner);
+  Alcotest.(check bool) "outer covers inner" true
+    (Obs.span_seconds outer >= Obs.span_seconds inner);
+  (* Re-entering the same span recursively must not double-count time. *)
+  let s = Obs.span "test.recursive" in
+  let rec go n = Obs.time s (fun () -> if n > 0 then go (n - 1)) in
+  go 4;
+  Alcotest.(check int) "every entry counted" 5 (Obs.span_count s);
+  Alcotest.(check bool) "recursive time attributed once (not 5x the wall time)" true
+    (Obs.span_seconds outer +. Obs.span_seconds s < 10.0);
+  (* An exception still closes the span. *)
+  (try Obs.time s (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "exceptional exit counted" 6 (Obs.span_count s)
+
+let test_snapshot_determinism () =
+  Obs.reset ();
+  Obs.add (Obs.counter "test.b") 2;
+  Obs.add (Obs.counter "test.a") 1;
+  Obs.add (Obs.counter "test.c") 0;
+  let names l = List.map fst l in
+  let snap1 = Obs.snapshot () in
+  let snap2 = Obs.snapshot () in
+  Alcotest.(check bool) "snapshots of unchanged state are equal" true (snap1 = snap2);
+  Alcotest.(check (list string))
+    "counters sorted by name"
+    (List.sort String.compare (names snap1.Obs.snap_counters))
+    (names snap1.Obs.snap_counters);
+  let nz = Obs.nonzero snap1 in
+  Alcotest.(check bool) "nonzero drops zero counters" true
+    (not (List.mem_assoc "test.c" nz.Obs.snap_counters));
+  Alcotest.(check bool) "nonzero keeps live counters" true
+    (List.mem_assoc "test.a" nz.Obs.snap_counters)
+
+(* ------------------------------- Json ----------------------------- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Float x, Json.Float y -> Float.equal x y
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Assoc xs, Json.Assoc ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2) xs ys
+  | a, b -> a = b
+
+let check_roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' ->
+    Alcotest.(check bool) (Printf.sprintf "round-trip %s" (Json.to_string v)) true
+      (json_equal v v')
+  | Error e -> Alcotest.failf "parse of emitted %s failed: %s" (Json.to_string v) e
+
+let test_json_roundtrip () =
+  List.iter check_roundtrip
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.25;
+      Json.Float 1e-9;
+      Json.Float 27.927233934402466;
+      Json.Float (-1.5e300);
+      Json.String "plain";
+      Json.String "esc \"quotes\" \\ back\n tab\t and \x01 control";
+      Json.List [];
+      Json.Assoc [];
+      Json.List [ Json.Int 1; Json.Null; Json.String "x" ];
+      Json.Assoc
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Assoc [ ("l", Json.List [ Json.Float 3.5 ]) ]);
+        ];
+    ]
+
+let test_json_parse_cases () =
+  let ok text expect =
+    match Json.of_string text with
+    | Ok v -> Alcotest.(check bool) (Printf.sprintf "parse %s" text) true (json_equal expect v)
+    | Error e -> Alcotest.failf "parse %s failed: %s" text e
+  in
+  ok "  [1, 2.5, \"a\\u0041b\"]  "
+    (Json.List [ Json.Int 1; Json.Float 2.5; Json.String "aAb" ]);
+  ok "{\"k\" : null}" (Json.Assoc [ ("k", Json.Null) ]);
+  ok "-3e2" (Json.Float (-300.0));
+  let bad text =
+    match Json.of_string text with
+    | Ok _ -> Alcotest.failf "expected failure on %s" text
+    | Error _ -> ()
+  in
+  List.iter bad [ ""; "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"a\":}"; "nan" ]
+
+(* ----------------------------- Bench_json ------------------------- *)
+
+let sample_run () =
+  Obs.reset ();
+  Obs.add (Obs.counter "test.bench_counter") 9;
+  ignore (Obs.time (Obs.span "test.bench_span") (fun () -> ()));
+  let e1 =
+    Bench_json.experiment
+      ~params:[ ("h", Json.Int 100); ("taus", Json.List [ Json.Float 0.2 ]) ]
+      ~measurements:
+        [
+          { Bench_json.m_name = "q1-basic"; m_seconds_per_run = 0.0123 };
+          { Bench_json.m_name = "q1-tree"; m_seconds_per_run = 0.0045 };
+        ]
+      ~snapshot:(Obs.snapshot ()) ~id:"fig9f" ~title:"PTQ time" ~wall_seconds:1.5 ()
+  in
+  let e2 = Bench_json.experiment ~id:"table2" ~title:"datasets" ~wall_seconds:0.25 () in
+  {
+    Bench_json.r_git_rev = "abc1234";
+    r_unix_time = 1786000000.0;
+    r_argv = [ "--json"; "out.json"; "fig9f"; "table2" ];
+    r_experiments = [ e1; e2 ];
+  }
+
+let test_bench_json_roundtrip () =
+  let run = sample_run () in
+  let line = Bench_json.run_to_string run in
+  (match Json.of_string line with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "emitted record is not valid JSON: %s" e);
+  match Bench_json.run_of_string line with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok run' ->
+    Alcotest.(check string) "git rev" run.Bench_json.r_git_rev run'.Bench_json.r_git_rev;
+    Alcotest.(check (list string)) "argv" run.Bench_json.r_argv run'.Bench_json.r_argv;
+    Alcotest.(check (list string))
+      "every emitted experiment id survives"
+      (List.map (fun e -> e.Bench_json.e_id) run.Bench_json.r_experiments)
+      (List.map (fun e -> e.Bench_json.e_id) run'.Bench_json.r_experiments);
+    let e1 = List.hd run.Bench_json.r_experiments in
+    let e1' = List.hd run'.Bench_json.r_experiments in
+    Alcotest.(check bool) "counters survive" true
+      (e1.Bench_json.e_counters = e1'.Bench_json.e_counters);
+    Alcotest.(check bool) "measurements survive" true
+      (e1.Bench_json.e_measurements = e1'.Bench_json.e_measurements);
+    Alcotest.(check bool) "spans survive" true (e1.Bench_json.e_spans = e1'.Bench_json.e_spans);
+    Alcotest.(check bool) "params survive" true
+      (List.map fst e1.Bench_json.e_params = List.map fst e1'.Bench_json.e_params)
+
+let test_bench_json_file_append () =
+  let path = Filename.temp_file "uxsm_bench" ".json" in
+  let run = sample_run () in
+  Bench_json.append_to_file ~path run;
+  Bench_json.append_to_file ~path { run with Bench_json.r_git_rev = "def5678" };
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  match Bench_json.runs_of_lines content with
+  | Error e -> Alcotest.failf "JSONL file did not parse: %s" e
+  | Ok runs ->
+    Alcotest.(check int) "two appended runs" 2 (List.length runs);
+    Alcotest.(check (list string))
+      "revisions in order" [ "abc1234"; "def5678" ]
+      (List.map (fun r -> r.Bench_json.r_git_rev) runs);
+    let ids =
+      List.concat_map
+        (fun r -> List.map (fun e -> e.Bench_json.e_id) r.Bench_json.r_experiments)
+        runs
+    in
+    List.iter
+      (fun id -> Alcotest.(check bool) (id ^ " present") true (List.mem id ids))
+      [ "fig9f"; "table2" ]
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "counter monotonicity" `Quick test_counter_monotone;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "nested spans" `Quick test_nested_spans;
+    Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse cases" `Quick test_json_parse_cases;
+    Alcotest.test_case "bench record round-trip" `Quick test_bench_json_roundtrip;
+    Alcotest.test_case "bench JSONL append + parse" `Quick test_bench_json_file_append;
+  ]
