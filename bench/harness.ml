@@ -56,7 +56,7 @@ let record_measurement name seconds =
     p.p_measurements <-
       { Bench_json.m_name = name; m_seconds_per_run = seconds } :: p.p_measurements
 
-let finalize ~argv () =
+let finalize ~argv ?(jobs = 1) ?(executor = "sequential") () =
   close_current ();
   match !out_path with
   | None -> ()
@@ -66,6 +66,8 @@ let finalize ~argv () =
         Bench_json.r_git_rev = Bench_json.git_rev ();
         r_unix_time = Unix.time ();
         r_argv = argv;
+        r_jobs = jobs;
+        r_executor = executor;
         r_experiments = List.rev !completed;
       }
     in

@@ -17,6 +17,11 @@ module Standards = Uxsm_workload.Standards
 module Gen_doc = Uxsm_workload.Gen_doc
 module Queries = Uxsm_workload.Queries
 module Json = Uxsm_util.Json
+module Executor = Uxsm_exec.Executor
+
+(* Execution backend for the parallelized sites (PTQ contexts, partitioned
+   ranking), set once from --jobs before any experiment runs. *)
+let exec = ref Executor.sequential
 
 let float_list xs = Json.List (List.map (fun x -> Json.Float x) xs)
 let int_list xs = Json.List (List.map (fun x -> Json.Int x) xs)
@@ -38,7 +43,7 @@ let d7_mset h =
 let d7_doc =
   lazy (Gen_doc.generate (Matching.source (Dataset.matching Dataset.d7)))
 
-let context ?tree h = Ptq.context ?tree ~mset:(d7_mset h) ~doc:(Lazy.force d7_doc) ()
+let context ?tree h = Ptq.context ~exec:!exec ?tree ~mset:(d7_mset h) ~doc:(Lazy.force d7_doc) ()
 
 let ms t = t *. 1000.0
 
@@ -281,7 +286,7 @@ let fig10e () =
       in
       let tp =
         Harness.seconds_per_run ~quota:0.5 ~name:(d.id ^ "-partition")
-          (fun () -> Partition.top ~h:100 g)
+          (fun () -> Partition.top ~exec:!exec ~h:100 g)
       in
       Harness.row "%-4s %10.2fms %10.2fms %12d %10.1f%%" d.id (ms tm) (ms tp) n_parts
         (100.0 *. (tm -. tp) /. tm))
@@ -300,7 +305,8 @@ let fig10f () =
         Harness.seconds_per_run ~quota:0.5 ~name:"tg-murty" (fun () -> Murty.top ~h g)
       in
       let tp =
-        Harness.seconds_per_run ~quota:0.5 ~name:"tg-partition" (fun () -> Partition.top ~h g)
+        Harness.seconds_per_run ~quota:0.5 ~name:"tg-partition"
+          (fun () -> Partition.top ~exec:!exec ~h g)
       in
       Harness.row "%6d %10.2fms %10.2fms %11.1f%%" h (ms tm) (ms tp)
         (100.0 *. (tm -. tp) /. tm))
@@ -411,7 +417,8 @@ let abl_relational () =
     Harness.seconds_per_run ~quota:0.5 ~name:"rel-murty" (fun () -> Murty.top ~h:100 g)
   in
   let tp =
-    Harness.seconds_per_run ~quota:0.5 ~name:"rel-partition" (fun () -> Partition.top ~h:100 g)
+    Harness.seconds_per_run ~quota:0.5 ~name:"rel-partition"
+      (fun () -> Partition.top ~exec:!exec ~h:100 g)
   in
   Harness.row "capacity=%d partitions=%d murty=%.2fms partition=%.2fms improvement=%.1f%%"
     (Matching.capacity m) (List.length comps) (ms tm) (ms tp)
@@ -445,6 +452,7 @@ let experiments =
 let () =
   let argv = List.tl (Array.to_list Sys.argv) in
   let json_path = ref None in
+  let jobs = ref 1 in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -454,11 +462,23 @@ let () =
     | [ "--json" ] ->
       prerr_endline "--json requires a path";
       exit 2
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | _ ->
+        prerr_endline "--jobs requires an integer >= 1";
+        exit 2)
+    | [ "--jobs" ] ->
+      prerr_endline "--jobs requires an integer >= 1";
+      exit 2
     | id :: rest ->
       ids := id :: !ids;
       parse rest
   in
   parse argv;
+  exec := Executor.of_jobs !jobs;
   let selected =
     match List.rev !ids with
     | [] -> List.map fst experiments
@@ -474,7 +494,8 @@ let () =
   Harness.start_recording path;
   Printf.printf "uxsm benchmark harness -- reproduction of Cheng/Gong/Cheung, ICDE 2010\n";
   Printf.printf
-    "defaults: |M|=100, tau=0.2, MAX_B=500, MAX_F=500, dataset D7, source doc 3473 nodes\n%!";
+    "defaults: |M|=100, tau=0.2, MAX_B=500, MAX_F=500, dataset D7, source doc 3473 nodes\n";
+  Printf.printf "executor: %s (--jobs %d)\n%!" (Executor.backend_name !exec) !jobs;
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun id ->
@@ -484,5 +505,5 @@ let () =
         Printf.printf "unknown experiment %s (available: %s)\n" id
           (String.concat ", " (List.map fst experiments)))
     selected;
-  Harness.finalize ~argv ();
+  Harness.finalize ~argv ~jobs:!jobs ~executor:(Executor.backend_name !exec) ();
   Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,36 @@
+(* Validate BENCH_*.json record files: every line must parse as a run
+   record (old records without executor fields are accepted with their
+   documented defaults). Prints a one-line summary per file; exits 1 on
+   the first malformed file. Used by CI's parallel-smoke job and handy
+   after hand-editing or merging baseline files. *)
+
+module Bench_json = Uxsm_obs.Bench_json
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let validate path =
+  match Bench_json.runs_of_lines (read_file path) with
+  | Error e ->
+    Printf.eprintf "%s: INVALID: %s\n" path e;
+    false
+  | Ok runs ->
+    let by_executor =
+      List.sort_uniq compare
+        (List.map (fun (r : Bench_json.run) -> (r.r_executor, r.r_jobs)) runs)
+    in
+    Printf.printf "%s: %d run records ok (%s)\n" path (List.length runs)
+      (String.concat ", "
+         (List.map (fun (e, j) -> Printf.sprintf "%s/%d" e j) by_executor));
+    true
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] ->
+    prerr_endline "usage: validate FILE.json [FILE.json ...]";
+    exit 2
+  | paths -> if not (List.for_all validate paths) then exit 1

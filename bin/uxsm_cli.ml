@@ -5,6 +5,7 @@
    trees, and answer probabilistic twig queries. *)
 
 open Cmdliner
+module Executor = Uxsm_exec.Executor
 module Schema = Uxsm_schema.Schema
 module Doc = Uxsm_xml.Doc
 module Matching = Uxsm_mapping.Matching
@@ -41,6 +42,19 @@ let h_arg =
 
 let tau_arg =
   Arg.(value & opt float 0.2 & info [ "tau" ] ~docv:"TAU" ~doc:"c-block confidence threshold.")
+
+let jobs_arg =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg "expected an integer >= 1")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for matcher scoring, per-component ranking and PTQ evaluation \
+               (1 = sequential; results are identical for every N).")
 
 (* ------------------------------- schema --------------------------- *)
 
@@ -81,8 +95,8 @@ let datasets_cmd =
 (* ------------------------------- match ---------------------------- *)
 
 let match_cmd =
-  let run d seed =
-    let m = Dataset.matching ~seed d in
+  let run d seed jobs =
+    let m = Dataset.matching ~seed ~exec:(Executor.of_jobs jobs) d in
     let source = Matching.source m and target = Matching.target m in
     List.iter
       (fun (c : Matching.corr) ->
@@ -96,7 +110,7 @@ let match_cmd =
   in
   Cmd.v
     (Cmd.info "match" ~doc:"Run the matcher on a dataset and print the scored correspondences.")
-    Term.(const run $ d $ seed_arg)
+    Term.(const run $ d $ seed_arg $ jobs_arg)
 
 (* ------------------------------ mappings -------------------------- *)
 
@@ -127,9 +141,9 @@ let load_mapping_set path =
     exit 1
 
 let mappings_cmd =
-  let run d seed h method_ verbose save =
+  let run d seed h method_ jobs verbose save =
     let t0 = Unix.gettimeofday () in
-    let mset = Dataset.mapping_set ~seed ~method_ ~h d in
+    let mset = Dataset.mapping_set ~seed ~method_ ~exec:(Executor.of_jobs jobs) ~h d in
     Printf.printf "derived %d mappings in %.3fs; average o-ratio %.3f\n"
       (Mapping_set.size mset)
       (Unix.gettimeofday () -. t0)
@@ -164,7 +178,7 @@ let mappings_cmd =
   in
   Cmd.v
     (Cmd.info "mappings" ~doc:"Derive the top-h possible mappings of a dataset.")
-    Term.(const run $ d $ seed_arg $ h_arg $ method_arg $ verbose $ save)
+    Term.(const run $ d $ seed_arg $ h_arg $ method_arg $ jobs_arg $ verbose $ save)
 
 (* ------------------------------ blocktree ------------------------- *)
 
@@ -202,7 +216,8 @@ let blocktree_cmd =
 (* -------------------------------- query --------------------------- *)
 
 let query_cmd =
-  let run d seed h tau k basic from query_str =
+  let run d seed h tau k basic from jobs query_str =
+    let exec = Executor.of_jobs jobs in
     let query =
       match query_str with
       | Some s -> Uxsm_twig.Pattern_parser.parse_exn s
@@ -211,11 +226,11 @@ let query_cmd =
     let mset =
       match from with
       | Some path -> load_mapping_set path
-      | None -> Dataset.mapping_set ~seed ~h d
+      | None -> Dataset.mapping_set ~seed ~exec ~h d
     in
     let doc = Gen_doc.generate (Mapping_set.source mset) in
     let tree = Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } mset in
-    let ctx = Ptq.context ~tree ~mset ~doc () in
+    let ctx = Ptq.context ~exec ~tree ~mset ~doc () in
     let t0 = Unix.gettimeofday () in
     let answers =
       match (k, basic) with
@@ -253,13 +268,14 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a probabilistic twig query on a dataset.")
-    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ query_str)
+    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ jobs_arg $ query_str)
 
 (* -------------------------------- stats --------------------------- *)
 
 let stats_cmd =
-  let run d seed h tau k basic from query_str =
+  let run d seed h tau k basic from jobs query_str =
     let module Obs = Uxsm_obs.Obs in
+    let exec = Executor.of_jobs jobs in
     Obs.reset ();
     let query =
       match query_str with
@@ -269,11 +285,11 @@ let stats_cmd =
     let mset =
       match from with
       | Some path -> load_mapping_set path
-      | None -> Dataset.mapping_set ~seed ~h d
+      | None -> Dataset.mapping_set ~seed ~exec ~h d
     in
     let doc = Gen_doc.generate (Mapping_set.source mset) in
     let tree = Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } mset in
-    let ctx = Ptq.context ~tree ~mset ~doc () in
+    let ctx = Ptq.context ~exec ~tree ~mset ~doc () in
     let answers =
       match (k, basic) with
       | Some k, _ -> Ptq.query_topk ctx ~k query
@@ -305,7 +321,7 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Answer a query like $(b,query), then print the metrics-layer snapshot (counters and \
              spans of mapping generation, block-tree construction and PTQ evaluation).")
-    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ query_str)
+    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ jobs_arg $ query_str)
 
 (* --------------------------------- doc ---------------------------- *)
 
@@ -336,7 +352,8 @@ let doc_cmd =
 (* ------------------------------ xsd-match ------------------------- *)
 
 let xsd_match_cmd =
-  let run source_path target_path h query_str =
+  let run source_path target_path h jobs query_str =
+    let exec = Executor.of_jobs jobs in
     let load path =
       match Uxsm_schema.Xsd.of_xsd_string (read_file path) with
       | Ok s -> s
@@ -345,7 +362,7 @@ let xsd_match_cmd =
         exit 1
     in
     let source = load source_path and target = load target_path in
-    let matching = Uxsm_matcher.Coma.run ~source ~target () in
+    let matching = Uxsm_matcher.Coma.run ~exec ~source ~target () in
     Printf.printf "%d correspondences between %d and %d elements\n"
       (Matching.capacity matching) (Schema.size source) (Schema.size target);
     List.iter
@@ -354,7 +371,7 @@ let xsd_match_cmd =
           (Schema.path_string source c.source)
           (Schema.path_string target c.target))
       (Matching.correspondences matching);
-    let mset = Mapping_set.generate ~h matching in
+    let mset = Mapping_set.generate ~exec ~h matching in
     Printf.printf "\ntop-%d mappings, o-ratio %.2f\n" (Mapping_set.size mset)
       (Mapping_set.average_o_ratio mset);
     match query_str with
@@ -363,7 +380,7 @@ let xsd_match_cmd =
       let q = Uxsm_twig.Pattern_parser.parse_exn qs in
       let doc = Gen_doc.generate ~target_nodes:(4 * Schema.size source) source in
       let tree = Block_tree.build mset in
-      let ctx = Ptq.context ~tree ~mset ~doc () in
+      let ctx = Ptq.context ~exec ~tree ~mset ~doc () in
       Printf.printf "\nPTQ %s over a generated %d-node instance:\n" qs
         (Uxsm_xml.Doc.size doc);
       List.iter
@@ -387,7 +404,7 @@ let xsd_match_cmd =
   Cmd.v
     (Cmd.info "xsd-match"
        ~doc:"Match two XSD files, derive possible mappings, optionally answer a PTQ.")
-    Term.(const run $ source_path $ target_path $ h_arg $ query_str)
+    Term.(const run $ source_path $ target_path $ h_arg $ jobs_arg $ query_str)
 
 (* ------------------------------- analyze -------------------------- *)
 
@@ -437,11 +454,12 @@ let analyze_cmd =
 (* ------------------------------- keyword -------------------------- *)
 
 let keyword_cmd =
-  let run d seed h terms =
-    let mset = Dataset.mapping_set ~seed ~h d in
+  let run d seed h jobs terms =
+    let exec = Executor.of_jobs jobs in
+    let mset = Dataset.mapping_set ~seed ~exec ~h d in
     let doc = Gen_doc.generate (Mapping_set.source mset) in
     let tree = Block_tree.build mset in
-    let ctx = Ptq.context ~tree ~mset ~doc () in
+    let ctx = Ptq.context ~exec ~tree ~mset ~doc () in
     let hits = Uxsm_ptq.Keyword.search ctx terms in
     if hits = [] then print_endline "no interpretation has answers"
     else
@@ -467,7 +485,7 @@ let keyword_cmd =
   in
   Cmd.v
     (Cmd.info "keyword" ~doc:"Keyword search over a dataset's uncertain matching.")
-    Term.(const run $ d $ seed_arg $ h_arg $ terms)
+    Term.(const run $ d $ seed_arg $ h_arg $ jobs_arg $ terms)
 
 let () =
   let info =

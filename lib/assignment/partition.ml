@@ -86,7 +86,7 @@ let merge ~h xs ys =
     drain ();
     List.rev !out
 
-let top ?order ~h g =
+let top ?(exec = Uxsm_exec.Executor.sequential) ?order ~h g =
   if h <= 0 then []
   else
     Obs.time s_top @@ fun () ->
@@ -114,6 +114,8 @@ let top ?order ~h g =
                score = s.score;
              })
     in
-    List.fold_left
-      (fun acc comp -> merge ~h acc (local_top comp))
-      [ empty_solution ] comps
+    (* Components rank independently on the executor; the heap merge is
+       order-sensitive, so it folds sequentially over the per-component
+       lists in component order — the same fold Sequential performs. *)
+    let ranked = Uxsm_exec.Executor.map_list exec local_top comps in
+    List.fold_left (fun acc local -> merge ~h acc local) [ empty_solution ] ranked

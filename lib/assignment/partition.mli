@@ -23,6 +23,13 @@ val merge : h:int -> Murty.solution list -> Murty.solution list -> Murty.solutio
     scores) of two non-increasing solution lists, non-increasing. Exposed
     for testing. *)
 
-val top : ?order:[ `Index | `Degree ] -> h:int -> Bipartite.t -> Murty.solution list
+val top :
+  ?exec:Uxsm_exec.Executor.t ->
+  ?order:[ `Index | `Degree ] ->
+  h:int ->
+  Bipartite.t ->
+  Murty.solution list
 (** Same contract as {!Murty.top} — identical score sequence — but computed
-    component-wise. *)
+    component-wise. [exec] (default [Sequential]) ranks the components on a
+    pool of domains; the heap merge runs sequentially in component order,
+    so the result is identical for every backend (a tested property). *)

@@ -1,0 +1,82 @@
+type t =
+  | Sequential
+  | Domains of int
+
+let sequential = Sequential
+
+let domains n =
+  if n < 1 then invalid_arg "Executor.domains: pool size must be >= 1";
+  Domains n
+
+let of_jobs n =
+  if n < 1 then invalid_arg "Executor.of_jobs: jobs must be >= 1";
+  if n = 1 then Sequential else Domains n
+
+let jobs = function
+  | Sequential -> 1
+  | Domains n -> n
+
+let backend_name = function
+  | Sequential -> "sequential"
+  | Domains _ -> "domains"
+
+let is_parallel = function
+  | Sequential | Domains 1 -> false
+  | Domains _ -> true
+
+(* Workers mark their domain so a nested bulk operation degrades to
+   sequential execution instead of spawning domains recursively. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* One bulk operation: a shared atomic index hands out items dynamically;
+   every worker writes only its own slots of [results], so no lock is
+   needed. The first exception wins and aborts the remaining items. *)
+let parallel_map pool f (arr : 'a array) : 'b array =
+  let n = Array.length arr in
+  let results : 'b option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let error : exn option Atomic.t = Atomic.make None in
+  let work () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get error = None then begin
+        (try results.(i) <- Some (f arr.(i))
+         with e -> ignore (Atomic.compare_and_set error None (Some e)));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let worker () =
+    Domain.DLS.set in_worker true;
+    work ()
+  in
+  let spawned = Array.init (min pool n - 1) (fun _ -> Domain.spawn worker) in
+  (* The calling domain participates as the pool's last member. *)
+  Domain.DLS.set in_worker true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set in_worker false)
+    (fun () ->
+      work ();
+      Array.iter Domain.join spawned);
+  (match Atomic.get error with
+  | Some e -> raise e
+  | None -> ());
+  Array.map
+    (function
+      | Some v -> v
+      | None -> assert false)
+    results
+
+let map_array t f arr =
+  match t with
+  | Sequential -> Array.map f arr
+  | Domains pool when pool <= 1 -> Array.map f arr
+  | Domains pool ->
+    if Array.length arr <= 1 || Domain.DLS.get in_worker then Array.map f arr
+    else parallel_map pool f arr
+
+let map_list t f l =
+  if is_parallel t then Array.to_list (map_array t f (Array.of_list l)) else List.map f l
+
+let map_reduce t ~map ~fold ~init arr = Array.fold_left fold init (map_array t map arr)

@@ -1,0 +1,73 @@
+(** Pluggable execution backend for the embarrassingly-parallel outer loops
+    of the pipeline (per-mapping PTQ evaluation, per-component top-h
+    ranking, per-element-pair matcher scoring).
+
+    A value of type {!t} names a scheduling policy, not live state:
+    [Sequential] runs bulk operations in the calling domain; [Domains n]
+    runs them on a pool of [n] OCaml 5 domains (the caller counts as one of
+    the [n], so [Domains 4] spawns three workers per bulk operation and
+    participates itself).
+
+    {b Determinism.} Every bulk operation merges results in index order, so
+    outputs are bit-identical across backends and pool sizes — the only
+    observable difference is wall-clock time (and the interleaving of
+    {!Uxsm_obs} counter increments, whose totals are preserved). This is
+    the contract the differential test suites enforce.
+
+    {b Work distribution} is dynamic (an atomic shared index), so uneven
+    item costs — one huge connected component among many tiny ones — do not
+    idle the pool.
+
+    {b Nesting.} A bulk operation issued from inside a worker of another
+    bulk operation degrades to sequential execution instead of spawning
+    domains recursively, so nested parallel call sites (a parallel PTQ
+    whose per-mapping work itself calls a parallelized ranking) are safe
+    and never oversubscribe the machine.
+
+    {b Exceptions.} If any item's function raises, remaining unstarted
+    items are abandoned, the pool is joined, and the first recorded
+    exception is re-raised in the caller. *)
+
+type t =
+  | Sequential
+  | Domains of int
+      (** Fixed pool of this many domains per bulk operation, caller
+          included. Must be >= 1; [Domains 1] behaves like [Sequential]. *)
+
+val sequential : t
+
+val domains : int -> t
+(** [domains n] is [Domains n]; raises [Invalid_argument] when [n < 1]. *)
+
+val of_jobs : int -> t
+(** Map a CLI [--jobs N] value to a backend: [1] is [Sequential], [N > 1]
+    is [Domains N]. Raises [Invalid_argument] when [n < 1]. *)
+
+val jobs : t -> int
+(** [Sequential] is [1]; [Domains n] is [n]. *)
+
+val backend_name : t -> string
+(** ["sequential"] or ["domains"] — the tag recorded in bench run
+    records. *)
+
+val is_parallel : t -> bool
+(** [true] iff a bulk operation may run item functions outside the calling
+    domain (i.e. [Domains n] with [n > 1]). Call sites use this to pick
+    between one shared memo table and per-worker tables. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f a] is [Array.map f a], scheduled by [t]. [f] must be
+    safe to call from any domain (pure up to domain-safe effects such as
+    {!Uxsm_obs} counters); items may run in any order and concurrently.
+    The result is in index order regardless of backend. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** List analogue of {!map_array}; preserves list order. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> fold:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
+(** [map_reduce t ~map ~fold ~init a] maps in parallel, then folds the
+    mapped results {e sequentially in index order} in the calling domain —
+    the fold sees exactly the sequence [Sequential] would produce, so
+    non-commutative folds (heap merges, ordered concatenation) stay
+    deterministic. *)

@@ -15,13 +15,13 @@ let normalize scores =
   if total <= 0.0 then Array.map (fun _ -> 1.0 /. float_of_int (Array.length scores)) scores
   else Array.map (fun s -> s /. total) scores
 
-let generate ?(method_ = Partitioned) ~h u =
+let generate ?(method_ = Partitioned) ?(exec = Uxsm_exec.Executor.sequential) ~h u =
   if h <= 0 then invalid_arg "Mapping_set.generate: h must be positive";
   let g = Matching.to_bipartite u in
   let solutions =
     match method_ with
     | Murty -> Uxsm_assignment.Murty.top ~h g
-    | Partitioned -> Uxsm_assignment.Partition.top ~h g
+    | Partitioned -> Uxsm_assignment.Partition.top ~exec ~h g
   in
   let source = Matching.source u and target = Matching.target u in
   let mappings =

@@ -13,10 +13,13 @@ type method_ =
   | Murty  (** rank the whole bipartite graph *)
   | Partitioned  (** Algorithm 5: per-component ranking + merge *)
 
-val generate : ?method_:method_ -> h:int -> Matching.t -> t
+val generate :
+  ?method_:method_ -> ?exec:Uxsm_exec.Executor.t -> h:int -> Matching.t -> t
 (** [generate ~h u] — the top-h possible mappings of matching [u] (fewer if
     the space is smaller), probabilities normalized over the set. Default
-    method: [Partitioned]. *)
+    method: [Partitioned]. [exec] (default sequential) parallelizes the
+    per-component ranking of the [Partitioned] method; the resulting set is
+    identical for every backend. *)
 
 val of_mappings : Matching.t -> (Mapping.t * float) list -> t
 (** Build from explicit mappings and probabilities (e.g. the paper's

@@ -1,5 +1,6 @@
 module Schema = Uxsm_schema.Schema
 module Matching = Uxsm_mapping.Matching
+module Executor = Uxsm_exec.Executor
 
 type strategy =
   | Context
@@ -51,16 +52,31 @@ let memoized_name_sim cfg =
       v
 
 (* All pair scores (computed once), plus per-element best scores for the
-   both-directions selection. *)
-let score_matrix cfg source target =
-  let name_sim = memoized_name_sim cfg in
-  let score x y = score_with cfg ~name_sim source x target y in
+   both-directions selection. Rows (source elements) score independently on
+   the executor; the selection scan below stays sequential, so the pair
+   list and bests are identical across backends. One memo serves the whole
+   matrix when sequential; parallel rows each get their own ([Hashtbl] is
+   not domain-safe). Scores are pure in the labels, so memo placement never
+   changes a value. *)
+let score_matrix ?(exec = Executor.sequential) cfg source target =
   let ns = Schema.size source and nt = Schema.size target in
+  let shared = if Executor.is_parallel exec then None else Some (memoized_name_sim cfg) in
+  let rows =
+    Executor.map_array exec
+      (fun x ->
+        let name_sim =
+          match shared with
+          | Some f -> f
+          | None -> memoized_name_sim cfg
+        in
+        Array.init nt (fun y -> score_with cfg ~name_sim source x target y))
+      (Array.init ns Fun.id)
+  in
   let best_s = Array.make ns 0.0 and best_t = Array.make nt 0.0 in
   let pairs = ref [] in
   for x = 0 to ns - 1 do
     for y = 0 to nt - 1 do
-      let s = score x y in
+      let s = rows.(x).(y) in
       if s > best_s.(x) then best_s.(x) <- s;
       if s > best_t.(y) then best_t.(y) <- s;
       if s >= 0.05 then pairs := (x, y, s) :: !pairs
@@ -86,19 +102,19 @@ let matching_of_pairs ~source ~target pairs =
   Matching.create ~source ~target
     (List.map (fun (x, y, s) -> { Matching.source = x; target = y; score = clamp_score s }) pairs)
 
-let run ?config ~source ~target () =
+let run ?(exec = Executor.sequential) ?config ~source ~target () =
   let cfg =
     match config with
     | Some c -> c
     | None -> default_config Context
   in
-  let matrix = score_matrix cfg source target in
+  let matrix = score_matrix ~exec cfg source target in
   matching_of_pairs ~source ~target (select ~threshold:cfg.threshold ~delta:cfg.delta matrix)
 
-let run_with_capacity ~strategy ~capacity ~source ~target () =
+let run_with_capacity ?(exec = Executor.sequential) ~strategy ~capacity ~source ~target () =
   if capacity < 0 then invalid_arg "Coma.run_with_capacity";
   let base = default_config strategy in
-  let matrix = score_matrix base source target in
+  let matrix = score_matrix ~exec base source target in
   let pairs_at threshold delta = select ~threshold ~delta matrix in
   (* Lower thresholds only add pairs; binary-search the largest threshold
      whose selection still reaches [capacity], then truncate the tail. If

@@ -39,14 +39,21 @@ val pair_score :
 (** Combined score of one element pair under the configuration. *)
 
 val run :
+  ?exec:Uxsm_exec.Executor.t ->
   ?config:config ->
   source:Uxsm_schema.Schema.t ->
   target:Uxsm_schema.Schema.t ->
   unit ->
   Uxsm_mapping.Matching.t
-(** Match two schemas (default config: {!default_config}[ Context]). *)
+(** Match two schemas (default config: {!default_config}[ Context]).
+
+    [exec] (default [Sequential]) scores the |S| x |T| matrix row-parallel
+    on a pool of domains; candidate selection stays sequential, so the
+    correspondence list is identical for every backend (a tested
+    property). *)
 
 val run_with_capacity :
+  ?exec:Uxsm_exec.Executor.t ->
   strategy:strategy ->
   capacity:int ->
   source:Uxsm_schema.Schema.t ->

@@ -19,6 +19,8 @@ type run = {
   r_git_rev : string;
   r_unix_time : float;
   r_argv : string list;
+  r_jobs : int;
+  r_executor : string;
   r_experiments : experiment list;
 }
 
@@ -66,6 +68,8 @@ let run_to_json r =
       ("git_rev", Json.String r.r_git_rev);
       ("unix_time", Json.Float r.r_unix_time);
       ("argv", Json.List (List.map (fun a -> Json.String a) r.r_argv));
+      ("jobs", Json.Int r.r_jobs);
+      ("executor", Json.String r.r_executor);
       ("experiments", Json.List (List.map experiment_to_json r.r_experiments));
     ]
 
@@ -115,12 +119,24 @@ let experiment_of_json j =
     e_spans = List.map (fun (n, v) -> span_of_json n v) (fields "spans" j);
   }
 
+(* Executor fields are optional on parse: pre-executor records (PR 1's
+   baseline among them) carry neither, and can only have run sequentially. *)
+let opt_field ~default conv name j =
+  match Json.member name j with
+  | None -> default
+  | Some v -> (
+    match conv v with
+    | Some x -> x
+    | None -> failf "field %S has the wrong type" name)
+
 let run_of_json j =
   try
     Ok
       {
         r_git_rev = str "git_rev" j;
         r_unix_time = num "unix_time" j;
+        r_jobs = opt_field ~default:1 Json.to_int "jobs" j;
+        r_executor = opt_field ~default:"sequential" Json.to_string_opt "executor" j;
         r_argv =
           List.map
             (fun a ->

@@ -29,8 +29,13 @@ type run = {
   r_git_rev : string;
   r_unix_time : float;  (** seconds since the epoch at run start *)
   r_argv : string list;
+  r_jobs : int;  (** executor pool size the run was measured with (1 = sequential) *)
+  r_executor : string;  (** executor backend name, e.g. ["sequential"], ["domains"] *)
   r_experiments : experiment list;
 }
+(** Records written before the executor fields existed parse with
+    [r_jobs = 1] and [r_executor = "sequential"] — the only configuration
+    those runs could have used. *)
 
 val experiment :
   ?params:(string * Uxsm_util.Json.t) list ->

@@ -1,53 +1,90 @@
+(* Domain-safe sinks: counter values and completed-span accumulators are
+   atomics (one lock-free fetch-and-add per event, no per-event locking);
+   the in-flight state of a span — re-entrancy depth and outermost start
+   time — is per-domain, so concurrent [time] calls on the same span from
+   different domains time independently and only their completed durations
+   meet in the shared accumulators. The registry itself is touched rarely
+   (handle resolution, snapshots, reset) and is guarded by one mutex. *)
+
 type counter = {
   c_name : string;
-  mutable c_value : int;
+  c_value : int Atomic.t;
+}
+
+(* Per-domain in-flight state of one span. *)
+type span_local = {
+  mutable depth : int;  (* re-entrancy depth, to avoid double counting *)
+  mutable started : float;  (* start of the outermost active [time] *)
 }
 
 type span = {
   s_name : string;
-  mutable s_count : int;
-  mutable s_seconds : float;
-  mutable s_depth : int;  (* re-entrancy depth, to avoid double counting *)
-  mutable s_started : float;  (* start of the outermost active [time] *)
+  s_count : int Atomic.t;
+  s_seconds : float Atomic.t;
+  s_local : span_local Domain.DLS.key;
 }
 
+let registry_mutex = Mutex.create ()
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
 let spans_tbl : (string, span) Hashtbl.t = Hashtbl.create 16
 
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 let counter name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt counters_tbl name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c_value = 0 } in
+    let c = { c_name = name; c_value = Atomic.make 0 } in
     Hashtbl.add counters_tbl name c;
     c
 
-let incr c = c.c_value <- c.c_value + 1
+let incr c = Atomic.incr c.c_value
 
 let add c n =
   if n < 0 then invalid_arg "Obs.add: counters only count up";
-  c.c_value <- c.c_value + n
+  ignore (Atomic.fetch_and_add c.c_value n)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 let name c = c.c_name
 
 let span name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt spans_tbl name with
   | Some s -> s
   | None ->
-    let s = { s_name = name; s_count = 0; s_seconds = 0.0; s_depth = 0; s_started = 0.0 } in
+    let s =
+      {
+        s_name = name;
+        s_count = Atomic.make 0;
+        s_seconds = Atomic.make 0.0;
+        s_local = Domain.DLS.new_key (fun () -> { depth = 0; started = 0.0 });
+      }
+    in
     Hashtbl.add spans_tbl name s;
     s
 
 let now () = Unix.gettimeofday ()
 
+(* [Atomic] has no float fetch-and-add; a CAS loop is enough for the rare
+   outermost-span completion (never on the per-event fast path). *)
+let atomic_add_float a x =
+  let rec go () =
+    let old = Atomic.get a in
+    if not (Atomic.compare_and_set a old (old +. x)) then go ()
+  in
+  go ()
+
 let time s f =
-  if s.s_depth = 0 then s.s_started <- now ();
-  s.s_depth <- s.s_depth + 1;
+  let l = Domain.DLS.get s.s_local in
+  if l.depth = 0 then l.started <- now ();
+  l.depth <- l.depth + 1;
   let finish () =
-    s.s_depth <- s.s_depth - 1;
-    s.s_count <- s.s_count + 1;
-    if s.s_depth = 0 then s.s_seconds <- s.s_seconds +. (now () -. s.s_started)
+    l.depth <- l.depth - 1;
+    Atomic.incr s.s_count;
+    if l.depth = 0 then atomic_add_float s.s_seconds (now () -. l.started)
   in
   match f () with
   | x ->
@@ -57,23 +94,40 @@ let time s f =
     finish ();
     raise e
 
-let span_count s = s.s_count
-let span_seconds s = s.s_seconds
+let span_count s = Atomic.get s.s_count
+let span_seconds s = Atomic.get s.s_seconds
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
+  with_registry @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters_tbl;
+  let t = now () in
   Hashtbl.iter
     (fun _ s ->
-      s.s_count <- 0;
-      s.s_seconds <- 0.0;
-      s.s_depth <- 0)
+      Atomic.set s.s_count 0;
+      Atomic.set s.s_seconds 0.0;
+      (* In-flight state is execution state, not accounting state: depth
+         must survive a reset or the matching [finish] of an active [time]
+         would drive it negative and corrupt every later measurement. For a
+         span active in the calling domain, restart its clock so only
+         post-reset time is attributed. (In-flight spans of other domains
+         cannot be reached from here; they contribute their full duration
+         when they finish.) *)
+      let l = Domain.DLS.get s.s_local in
+      if l.depth > 0 then l.started <- t)
     spans_tbl
 
 let sorted_assoc fold tbl =
   Hashtbl.fold fold tbl [] |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counters () = sorted_assoc (fun name c acc -> (name, c.c_value) :: acc) counters_tbl
-let spans () = sorted_assoc (fun name s acc -> (name, (s.s_count, s.s_seconds)) :: acc) spans_tbl
+let counters () =
+  with_registry @@ fun () ->
+  sorted_assoc (fun name c acc -> (name, Atomic.get c.c_value) :: acc) counters_tbl
+
+let spans () =
+  with_registry @@ fun () ->
+  sorted_assoc
+    (fun name s acc -> (name, (Atomic.get s.s_count, Atomic.get s.s_seconds)) :: acc)
+    spans_tbl
 
 type snapshot = {
   snap_counters : (string * int) list;

@@ -2,15 +2,20 @@
     global registry.
 
     Hot paths (block-tree construction, PTQ evaluation, top-h ranking) bump
-    pre-resolved {!counter} handles — one mutable [int] each, no hashing per
-    event — while the registry supports {!reset} and deterministic
-    {!snapshot}s for the benchmark harness, the CLI [stats] subcommand and
-    tests. The [EXPLAIN]-style statistics of [Ptq.explain] are deltas of
-    these counters.
+    pre-resolved {!counter} handles — one lock-free atomic [int] each, no
+    hashing and no locking per event — while the registry supports {!reset}
+    and deterministic {!snapshot}s for the benchmark harness, the CLI
+    [stats] subcommand and tests. The [EXPLAIN]-style statistics of
+    [Ptq.explain] are deltas of these counters.
 
-    The registry is process-global and not synchronized: the library is
-    single-domain, as are the harness and CLI. Counter values are
-    monotonically non-decreasing between {!reset}s. *)
+    {b Domain safety.} Every sink is safe under concurrent use from
+    multiple OCaml 5 domains (the [Uxsm_exec.Executor] backends): counter
+    values and completed-span accumulators are atomics, a span's in-flight
+    state (re-entrancy depth, outermost start time) is per-domain, and the
+    registry itself — handle resolution, {!snapshot}, {!reset} — is
+    mutex-guarded. Counter totals after a parallel run equal the
+    sequential run's totals; only the interleaving of increments differs.
+    Counter values are monotonically non-decreasing between {!reset}s. *)
 
 type counter
 
@@ -35,8 +40,12 @@ val span : string -> span
 val time : span -> (unit -> 'a) -> 'a
 (** [time s f] runs [f], attributing its wall time to [s]. Spans nest:
     distinct spans accumulate independently, and re-entering the {e same}
-    span recursively accumulates only the outermost duration (no double
-    counting). Exceptions propagate; the elapsed time is still recorded. *)
+    span recursively {e in the same domain} accumulates only the outermost
+    duration (no double counting). Concurrent [time] calls on one span from
+    different domains are independent outermost activations; each
+    contributes its own duration, so a span's seconds can exceed wall time
+    under parallelism (CPU-seconds semantics). Exceptions propagate; the
+    elapsed time is still recorded. *)
 
 val span_count : span -> int
 (** Completed [time] invocations since the last {!reset}. *)
@@ -46,7 +55,13 @@ val span_seconds : span -> float
 
 val reset : unit -> unit
 (** Zero every registered counter and span. Registration survives, so
-    handles stay valid and snapshots keep a stable shape. *)
+    handles stay valid and snapshots keep a stable shape.
+
+    Safe while a span is active: the active [time]'s re-entrancy depth is
+    untouched (it is execution state, not accounting state), and a span
+    active in the {e calling} domain restarts its clock so only post-reset
+    time is attributed when it finishes. A span in flight on {e another}
+    domain contributes its full duration on completion. *)
 
 val counters : unit -> (string * int) list
 (** Every registered counter with its value, sorted by name. *)
@@ -60,6 +75,8 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
+(** A consistent read of the registry (taken under the registry lock);
+    individual values are atomic reads. *)
 
 val nonzero : snapshot -> snapshot
 (** Drop zero counters and zero-count spans — the interesting part of a

@@ -9,6 +9,7 @@ module Mapping_set = Uxsm_mapping.Mapping_set
 module Block = Uxsm_blocktree.Block
 module Block_tree = Uxsm_blocktree.Block_tree
 module Obs = Uxsm_obs.Obs
+module Executor = Uxsm_exec.Executor
 
 (* Observability: evaluation cost drivers, shared with the bench harness and
    the CLI [stats] subcommand. [explain] reports deltas of these counters. *)
@@ -29,11 +30,14 @@ type context = {
   doc : Doc.t;
   target_doc : Doc.t;  (* target schema, indexed for resolution *)
   tree : Block_tree.t option;
+  exec : Executor.t;
 }
 
-let context ?tree ~mset ~doc () =
+let context ?(exec = Executor.sequential) ?tree ~mset ~doc () =
   let target_doc = Doc.of_tree (Schema.to_xml_tree (Mapping_set.target mset)) in
-  { mset; doc; target_doc; tree }
+  { mset; doc; target_doc; tree; exec }
+
+let executor ctx = ctx.exec
 
 let mapping_set ctx = ctx.mset
 let source_doc ctx = ctx.doc
@@ -142,23 +146,29 @@ let coverage_of ctx (res : Resolve.t array) =
   done;
   !cov
 
-(* Algorithm 3 over a precomputed coverage table. *)
+(* Algorithm 3 over a precomputed coverage table. Mappings are independent
+   of each other (the context is read-only during evaluation), so the outer
+   loop fans out on the context's executor; results come back in coverage
+   order, so answers are identical across backends. *)
 let query_basic_cov ctx idx (res : Resolve.t array) cov =
   Obs.time s_basic (fun () ->
       let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
-      List.iter
-        (fun (i, covered) ->
-          let m = Mapping_set.mapping ctx.mset i in
-          Obs.add c_direct (List.length covered);
-          let bindings =
-            List.concat_map
-              (fun r ->
-                rewrite_and_match ctx idx 0 res.(r) ~at_top:true
-                  ~lookup:(lookup_of_mapping m))
-              covered
-          in
-          Hashtbl.replace per_mapping i bindings)
-        cov;
+      let evaluated =
+        Executor.map_list ctx.exec
+          (fun (i, covered) ->
+            let m = Mapping_set.mapping ctx.mset i in
+            Obs.add c_direct (List.length covered);
+            let bindings =
+              List.concat_map
+                (fun r ->
+                  rewrite_and_match ctx idx 0 res.(r) ~at_top:true
+                    ~lookup:(lookup_of_mapping m))
+                covered
+            in
+            (i, bindings))
+          cov
+      in
+      List.iter (fun (i, bindings) -> Hashtbl.replace per_mapping i bindings) evaluated;
       answers_of_table ctx per_mapping (List.map fst cov))
 
 let query_basic ctx pattern =
@@ -304,22 +314,32 @@ let query_tree_cov ctx idx (res : Resolve.t array) cov =
   in
   Obs.time s_tree (fun () ->
       let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
-      for r = 0 to Array.length res - 1 do
-        let mids =
-          List.filter_map
-            (fun (i, covered) -> if List.mem r covered then Some i else None)
-            cov
-        in
-        if mids <> [] then begin
-          let table = eval_with_tree ctx tree idx res.(r) ~mids in
-          List.iter
-            (fun i ->
-              let bindings = try Hashtbl.find table i with Not_found -> [] in
-              let prev = try Hashtbl.find per_mapping i with Not_found -> [] in
-              Hashtbl.replace per_mapping i (bindings @ prev))
-            mids
-        end
-      done;
+      (* Resolutions are independent (tree, mapping set and document are
+         read-only), so they fan out on the executor; the per-mapping merge
+         below runs sequentially in resolution order, reproducing the
+         sequential accumulation exactly. *)
+      let tables =
+        Executor.map_array ctx.exec
+          (fun r ->
+            let mids =
+              List.filter_map
+                (fun (i, covered) -> if List.mem r covered then Some i else None)
+                cov
+            in
+            if mids = [] then None else Some (mids, eval_with_tree ctx tree idx res.(r) ~mids))
+          (Array.init (Array.length res) Fun.id)
+      in
+      Array.iter
+        (function
+          | None -> ()
+          | Some (mids, table) ->
+            List.iter
+              (fun i ->
+                let bindings = try Hashtbl.find table i with Not_found -> [] in
+                let prev = try Hashtbl.find per_mapping i with Not_found -> [] in
+                Hashtbl.replace per_mapping i (bindings @ prev))
+              mids)
+        tables;
       answers_of_table ctx per_mapping (List.map fst cov))
 
 let query_tree ctx pattern =
@@ -384,8 +404,9 @@ let consolidate answers =
   Hashtbl.fold (fun b p acc -> (b, p) :: acc) tbl []
   |> List.sort (fun (_, p1) (_, p2) -> Float.compare p2 p1)
 
-(* EXPLAIN as counter deltas: the query bumps the shared Obs counters, and
-   single-domain execution makes before/after differences exact. *)
+(* EXPLAIN as counter deltas: the query bumps the shared Obs counters; the
+   executor joins its workers before returning, so before/after differences
+   are exact for any backend as long as no other query runs concurrently. *)
 let explain ctx pattern =
   let n_resolutions = List.length (resolutions_of ctx pattern) in
   let grab () =

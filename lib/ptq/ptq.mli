@@ -15,6 +15,7 @@
 type context
 
 val context :
+  ?exec:Uxsm_exec.Executor.t ->
   ?tree:Uxsm_blocktree.Block_tree.t ->
   mset:Uxsm_mapping.Mapping_set.t ->
   doc:Uxsm_xml.Doc.t ->
@@ -22,7 +23,16 @@ val context :
   context
 (** [context ~mset ~doc ()] prepares evaluation state: the indexed target
     schema for query resolution and (optionally) a block tree for
-    Algorithm 4. [doc] must conform to the mapping set's source schema. *)
+    Algorithm 4. [doc] must conform to the mapping set's source schema.
+
+    [exec] (default [Sequential]) schedules the embarrassingly-parallel
+    outer loops of evaluation — per mapping in {!query_basic}, per
+    resolution in {!query_tree} — over a pool of domains. The context is
+    read-only during evaluation, and results merge in a fixed order, so
+    answers are identical for every backend (a tested property). *)
+
+val executor : context -> Uxsm_exec.Executor.t
+(** The execution backend the context evaluates queries with. *)
 
 val mapping_set : context -> Uxsm_mapping.Mapping_set.t
 

@@ -32,14 +32,17 @@ let d7 =
 
 let matching_cache : (string * int, Uxsm_mapping.Matching.t) Hashtbl.t = Hashtbl.create 16
 
-let matching ?(seed = 42) d =
+(* [exec] is deliberately absent from the cache keys below: every backend
+   produces bit-identical results (see Uxsm_exec.Executor), so a hit cached
+   under one backend is a valid answer under any other. *)
+let matching ?(seed = 42) ?(exec = Uxsm_exec.Executor.sequential) d =
   match Hashtbl.find_opt matching_cache (d.id, seed) with
   | Some m -> m
   | None ->
     let source = Standards.generate ~seed d.source in
     let target = Standards.generate ~seed d.target in
     let m =
-      Coma.run_with_capacity ~strategy:d.strategy ~capacity:d.capacity ~source ~target ()
+      Coma.run_with_capacity ~exec ~strategy:d.strategy ~capacity:d.capacity ~source ~target ()
     in
     Hashtbl.add matching_cache (d.id, seed) m;
     m
@@ -47,11 +50,12 @@ let matching ?(seed = 42) d =
 let mset_cache : (string * int * int * bool, Uxsm_mapping.Mapping_set.t) Hashtbl.t =
   Hashtbl.create 16
 
-let mapping_set ?(seed = 42) ?(method_ = Uxsm_mapping.Mapping_set.Partitioned) ~h d =
+let mapping_set ?(seed = 42) ?(method_ = Uxsm_mapping.Mapping_set.Partitioned)
+    ?(exec = Uxsm_exec.Executor.sequential) ~h d =
   let key = (d.id, seed, h, method_ = Uxsm_mapping.Mapping_set.Partitioned) in
   match Hashtbl.find_opt mset_cache key with
   | Some s -> s
   | None ->
-    let s = Uxsm_mapping.Mapping_set.generate ~method_ ~h (matching ~seed d) in
+    let s = Uxsm_mapping.Mapping_set.generate ~method_ ~exec ~h (matching ~seed ~exec d) in
     Hashtbl.add mset_cache key s;
     s

@@ -22,14 +22,18 @@ val find : string -> t option
 val d7 : t
 (** The paper's default analysis dataset (XCBL → Apertum, capacity 226). *)
 
-val matching : ?seed:int -> t -> Uxsm_mapping.Matching.t
+val matching : ?seed:int -> ?exec:Uxsm_exec.Executor.t -> t -> Uxsm_mapping.Matching.t
 (** Generate the dataset's matching (memoized per [(id, seed)] — schema
-    generation is cheap but XCBL-sized matcher runs are not). *)
+    generation is cheap but XCBL-sized matcher runs are not). [exec]
+    (default sequential) parallelizes the matcher's pair scoring; it is not
+    part of the cache key because every backend yields identical results. *)
 
 val mapping_set :
   ?seed:int ->
   ?method_:Uxsm_mapping.Mapping_set.method_ ->
+  ?exec:Uxsm_exec.Executor.t ->
   h:int ->
   t ->
   Uxsm_mapping.Mapping_set.t
-(** The dataset's top-h possible mappings (memoized like {!matching}). *)
+(** The dataset's top-h possible mappings (memoized like {!matching},
+    [exec] likewise excluded from the key). *)

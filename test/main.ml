@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("exec", Test_exec.suite);
       ("xml", Test_xml.suite);
       ("schema", Test_schema.suite);
       ("matcher", Test_matcher.suite);

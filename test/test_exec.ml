@@ -1,0 +1,204 @@
+(* Tests for the execution layer: Executor semantics (ordering, nesting,
+   exceptions), domain-safety of the Obs sinks under parallel fan-out, and
+   the differential properties the refactor promises — the Domains backend
+   returns bit-identical results to Sequential on all three parallelized
+   sites (PTQ evaluation, per-component top-h ranking, matcher scoring). *)
+
+module Executor = Uxsm_exec.Executor
+module Obs = Uxsm_obs.Obs
+module Schema = Uxsm_schema.Schema
+module Matching = Uxsm_mapping.Matching
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Block_tree = Uxsm_blocktree.Block_tree
+module Partition = Uxsm_assignment.Partition
+module Murty = Uxsm_assignment.Murty
+module Coma = Uxsm_matcher.Coma
+module Ptq = Uxsm_ptq.Ptq
+
+let par = Executor.domains 3
+
+(* ------------------------- Executor semantics --------------------- *)
+
+let test_construction () =
+  Alcotest.(check int) "sequential is one job" 1 (Executor.jobs Executor.sequential);
+  Alcotest.(check int) "domains carries its size" 4 (Executor.jobs (Executor.domains 4));
+  Alcotest.(check string) "sequential name" "sequential"
+    (Executor.backend_name Executor.sequential);
+  Alcotest.(check string) "domains name" "domains" (Executor.backend_name (Executor.domains 2));
+  Alcotest.(check bool) "of_jobs 1 is sequential" false
+    (Executor.is_parallel (Executor.of_jobs 1));
+  Alcotest.(check bool) "of_jobs 4 is parallel" true (Executor.is_parallel (Executor.of_jobs 4));
+  Alcotest.(check bool) "domains 1 never spawns" false (Executor.is_parallel (Executor.domains 1));
+  Alcotest.check_raises "of_jobs rejects zero"
+    (Invalid_argument "Executor.of_jobs: jobs must be >= 1") (fun () ->
+      ignore (Executor.of_jobs 0));
+  Alcotest.check_raises "domains rejects zero"
+    (Invalid_argument "Executor.domains: pool size must be >= 1") (fun () ->
+      ignore (Executor.domains 0))
+
+let test_map_ordering () =
+  let input = Array.init 500 Fun.id in
+  let f i = (i * i) - (3 * i) in
+  let seq = Executor.map_array Executor.sequential f input in
+  List.iter
+    (fun pool ->
+      let got = Executor.map_array (Executor.domains pool) f input in
+      Alcotest.(check bool)
+        (Printf.sprintf "map_array pool=%d is index-ordered" pool)
+        true (got = seq))
+    [ 2; 3; 8 ];
+  let l = List.init 101 string_of_int in
+  Alcotest.(check (list string)) "map_list preserves order" (List.map (fun s -> s ^ "!") l)
+    (Executor.map_list par (fun s -> s ^ "!") l);
+  Alcotest.(check (list string)) "empty and singleton inputs survive" [ "x!" ]
+    (Executor.map_list par (fun s -> s ^ "!") [ "x" ]);
+  Alcotest.(check bool) "empty array" true (Executor.map_array par f [||] = [||])
+
+let test_map_reduce_deterministic () =
+  (* String concatenation is non-commutative: any out-of-order fold would
+     produce a different result. *)
+  let input = Array.init 64 Fun.id in
+  let expect = Array.fold_left (fun acc i -> acc ^ string_of_int i) "" input in
+  Alcotest.(check string) "fold sees index order" expect
+    (Executor.map_reduce par ~map:string_of_int ~fold:( ^ ) ~init:"" input)
+
+exception Boom of int
+
+let test_exceptions_propagate () =
+  let input = Array.init 100 Fun.id in
+  (match Executor.map_array par (fun i -> if i = 57 then raise (Boom i) else i) input with
+  | _ -> Alcotest.fail "expected the worker exception to re-raise"
+  | exception Boom 57 -> ());
+  (* The pool is joined and reusable after a failure. *)
+  Alcotest.(check bool) "executor still works after a failure" true
+    (Executor.map_array par Fun.id input = input)
+
+let test_nested_fanout_degrades () =
+  (* A parallel map whose items issue parallel maps themselves must not
+     spawn recursively — and must still compute the right thing. *)
+  let inner i = Executor.map_list par (fun j -> i + j) [ 1; 2; 3 ] in
+  let got = Executor.map_list par inner [ 10; 20; 30; 40 ] in
+  Alcotest.(check bool) "nested results correct" true
+    (got = [ [ 11; 12; 13 ]; [ 21; 22; 23 ]; [ 31; 32; 33 ]; [ 41; 42; 43 ] ])
+
+(* ----------------------- Obs under parallelism -------------------- *)
+
+let test_parallel_counter_totals () =
+  Obs.reset ();
+  let c = Obs.counter "test.exec_counter" in
+  let s = Obs.span "test.exec_span" in
+  let items = Array.init 200 Fun.id in
+  let work i =
+    Obs.time s (fun () ->
+        Obs.incr c;
+        Obs.add c 2;
+        i)
+  in
+  let seq = Executor.map_array Executor.sequential work items in
+  let seq_count = Obs.value c and seq_spans = Obs.span_count s in
+  Obs.reset ();
+  let got = Executor.map_array (Executor.domains 4) work items in
+  Alcotest.(check bool) "results identical" true (got = seq);
+  Alcotest.(check int) "counter total = sequential total" seq_count (Obs.value c);
+  Alcotest.(check int) "span count = sequential count" seq_spans (Obs.span_count s);
+  Alcotest.(check int) "3 bumps per item" (3 * Array.length items) (Obs.value c)
+
+(* --------------------- differential: Partition -------------------- *)
+
+let solutions_identical xs ys =
+  List.length xs = List.length ys
+  && List.for_all2
+       (fun (a : Murty.solution) (b : Murty.solution) ->
+         a.pairs = b.pairs && Float.equal a.score b.score)
+       xs ys
+
+let prop_partition_domains_eq_sequential =
+  QCheck.Test.make ~count:150 ~name:"Partition.top Domains = Sequential (scores and pairs)"
+    Test_assignment.arb_graph (fun g ->
+      solutions_identical
+        (Partition.top ~h:25 g)
+        (Partition.top ~exec:par ~h:25 g))
+
+(* ------------------------ differential: PTQ ----------------------- *)
+
+let answers_identical (xs : Ptq.answer list) (ys : Ptq.answer list) =
+  List.length xs = List.length ys
+  && List.for_all2
+       (fun (x : Ptq.answer) (y : Ptq.answer) ->
+         x.mapping_id = y.mapping_id
+         && Float.equal x.probability y.probability
+         && x.bindings = y.bindings)
+       xs ys
+
+let prop_ptq_domains_eq_sequential =
+  QCheck.Test.make ~count:60 ~name:"PTQ Domains = Sequential (basic, tree and top-k)"
+    QCheck.(triple (int_range 1 1000000) (int_range 2 15) (int_range 1 6))
+    (fun (seed, h, k) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let mset = Fixtures.random_mapping_set prng ~source_n:14 ~target_n:10 ~corrs:14 ~h in
+      let tree = Block_tree.build ~params:{ Block_tree.tau = 0.3; max_b = 100; max_f = 100 } mset in
+      let doc = Fixtures.random_doc prng (Mapping_set.source mset) in
+      let pattern = Fixtures.random_pattern prng (Mapping_set.target mset) in
+      let ctx_seq = Ptq.context ~tree ~mset ~doc () in
+      let ctx_par = Ptq.context ~exec:par ~tree ~mset ~doc () in
+      answers_identical (Ptq.query_basic ctx_seq pattern) (Ptq.query_basic ctx_par pattern)
+      && answers_identical (Ptq.query_tree ctx_seq pattern) (Ptq.query_tree ctx_par pattern)
+      && answers_identical
+           (Ptq.query_topk ctx_seq ~k pattern)
+           (Ptq.query_topk ctx_par ~k pattern))
+
+let prop_ptq_counter_totals =
+  QCheck.Test.make ~count:30 ~name:"PTQ counter totals Domains = Sequential"
+    QCheck.(pair (int_range 1 1000000) (int_range 2 12))
+    (fun (seed, h) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let mset = Fixtures.random_mapping_set prng ~source_n:12 ~target_n:8 ~corrs:10 ~h in
+      let doc = Fixtures.random_doc prng (Mapping_set.source mset) in
+      let pattern = Fixtures.random_pattern prng (Mapping_set.target mset) in
+      let totals exec =
+        Obs.reset ();
+        ignore (Ptq.query_basic (Ptq.context ~exec ~mset ~doc ()) pattern);
+        List.filter
+          (fun (name, _) -> String.length name >= 4 && String.sub name 0 4 = "ptq.")
+          (Obs.counters ())
+      in
+      totals Executor.sequential = totals par)
+
+(* ------------------------ differential: Coma ---------------------- *)
+
+let corrs_identical a b =
+  let l1 = Matching.correspondences a and l2 = Matching.correspondences b in
+  List.length l1 = List.length l2
+  && List.for_all2
+       (fun (c1 : Matching.corr) (c2 : Matching.corr) ->
+         c1.source = c2.source && c1.target = c2.target && Float.equal c1.score c2.score)
+       l1 l2
+
+let prop_coma_domains_eq_sequential =
+  QCheck.Test.make ~count:25 ~name:"Coma Domains = Sequential (correspondence lists)"
+    QCheck.(triple (int_range 1 1000000) (int_range 5 25) (int_range 5 25))
+    (fun (seed, ns, nt) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let source = Fixtures.random_schema prng ~n:ns in
+      let target = Fixtures.random_schema prng ~n:nt in
+      corrs_identical (Coma.run ~source ~target ()) (Coma.run ~exec:par ~source ~target ())
+      && corrs_identical
+           (Coma.run_with_capacity ~strategy:Coma.Fragment ~capacity:8 ~source ~target ())
+           (Coma.run_with_capacity ~exec:par ~strategy:Coma.Fragment ~capacity:8 ~source
+              ~target ()))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "executor construction" `Quick test_construction;
+    Alcotest.test_case "map ordering across backends" `Quick test_map_ordering;
+    Alcotest.test_case "map_reduce folds in index order" `Quick test_map_reduce_deterministic;
+    Alcotest.test_case "worker exceptions propagate" `Quick test_exceptions_propagate;
+    Alcotest.test_case "nested fan-out degrades to sequential" `Quick
+      test_nested_fanout_degrades;
+    Alcotest.test_case "Obs totals under parallel fan-out" `Quick test_parallel_counter_totals;
+    q prop_partition_domains_eq_sequential;
+    q prop_ptq_domains_eq_sequential;
+    q prop_ptq_counter_totals;
+    q prop_coma_domains_eq_sequential;
+  ]

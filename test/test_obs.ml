@@ -46,6 +46,34 @@ let test_reset () =
   Alcotest.(check bool) "registration survives reset" true
     (List.mem_assoc "test.reset" (Obs.counters ()))
 
+(* Regression: a reset issued inside an active [time] used to zero the
+   span's re-entrancy depth, so the matching [finish] drove the depth
+   negative — the span then never accumulated seconds again, and counts
+   were attributed to a broken state. Reset must leave the in-flight
+   activation intact and only restart its clock. *)
+let test_reset_inside_active_span () =
+  Obs.reset ();
+  let s = Obs.span "test.reset_mid_span" in
+  Obs.time s (fun () -> Obs.reset ());
+  Alcotest.(check int) "the interrupted activation still completes" 1 (Obs.span_count s);
+  Alcotest.(check bool) "its duration is non-negative" true (Obs.span_seconds s >= 0.0);
+  (* The span must keep working after the mid-span reset: a fresh [time]
+     both counts and accumulates time. *)
+  Obs.time s (fun () -> ignore (Sys.opaque_identity (Array.init 10000 Fun.id)));
+  Alcotest.(check int) "subsequent activations count" 2 (Obs.span_count s);
+  Alcotest.(check bool) "subsequent activations accumulate time" true
+    (Obs.span_seconds s > 0.0);
+  (* Nested variant: reset fires between the outer and inner activations of
+     a recursive span; the outer finish must still see a sane depth. *)
+  Obs.reset ();
+  Obs.time s (fun () ->
+      Obs.reset ();
+      Obs.time s (fun () -> ()));
+  Alcotest.(check int) "both activations complete after nested reset" 2 (Obs.span_count s);
+  Obs.time s (fun () -> ());
+  Alcotest.(check int) "depth is back to zero (outermost activations count)" 3
+    (Obs.span_count s)
+
 let test_nested_spans () =
   Obs.reset ();
   let outer = Obs.span "test.outer" in
@@ -172,6 +200,8 @@ let sample_run () =
     Bench_json.r_git_rev = "abc1234";
     r_unix_time = 1786000000.0;
     r_argv = [ "--json"; "out.json"; "fig9f"; "table2" ];
+    r_jobs = 4;
+    r_executor = "domains";
     r_experiments = [ e1; e2 ];
   }
 
@@ -186,6 +216,8 @@ let test_bench_json_roundtrip () =
   | Ok run' ->
     Alcotest.(check string) "git rev" run.Bench_json.r_git_rev run'.Bench_json.r_git_rev;
     Alcotest.(check (list string)) "argv" run.Bench_json.r_argv run'.Bench_json.r_argv;
+    Alcotest.(check int) "jobs" run.Bench_json.r_jobs run'.Bench_json.r_jobs;
+    Alcotest.(check string) "executor" run.Bench_json.r_executor run'.Bench_json.r_executor;
     Alcotest.(check (list string))
       "every emitted experiment id survives"
       (List.map (fun e -> e.Bench_json.e_id) run.Bench_json.r_experiments)
@@ -199,6 +231,42 @@ let test_bench_json_roundtrip () =
     Alcotest.(check bool) "spans survive" true (e1.Bench_json.e_spans = e1'.Bench_json.e_spans);
     Alcotest.(check bool) "params survive" true
       (List.map fst e1.Bench_json.e_params = List.map fst e1'.Bench_json.e_params)
+
+(* Records written before the executor fields existed must keep parsing,
+   with the only configuration they could have used. *)
+let test_bench_json_old_shape () =
+  let line =
+    {|{"git_rev": "abc1234", "unix_time": 1786000000, "argv": ["table2"], "experiments": []}|}
+  in
+  (match Bench_json.run_of_string line with
+  | Error e -> Alcotest.failf "old-shape record must keep parsing: %s" e
+  | Ok r ->
+    Alcotest.(check string) "rev survives" "abc1234" r.Bench_json.r_git_rev;
+    Alcotest.(check int) "jobs defaults to 1" 1 r.Bench_json.r_jobs;
+    Alcotest.(check string) "executor defaults to sequential" "sequential"
+      r.Bench_json.r_executor);
+  (* Present-but-mistyped executor fields are an error, not a default. *)
+  (match
+     Bench_json.run_of_string
+       {|{"git_rev": "x", "unix_time": 0, "argv": [], "jobs": "four", "experiments": []}|}
+   with
+  | Ok _ -> Alcotest.fail "mistyped jobs field must not parse"
+  | Error _ -> ());
+  (* The committed pre-executor baseline is the real backward-compat
+     fixture: it must parse and read as a sequential run. *)
+  let ic = open_in "../BENCH_baseline.json" in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  match Bench_json.runs_of_lines content with
+  | Error e -> Alcotest.failf "BENCH_baseline.json no longer parses: %s" e
+  | Ok runs ->
+    Alcotest.(check bool) "baseline has runs" true (runs <> []);
+    List.iter
+      (fun r ->
+        Alcotest.(check int) "baseline ran sequentially" 1 r.Bench_json.r_jobs;
+        Alcotest.(check string) "baseline backend" "sequential" r.Bench_json.r_executor)
+      runs
 
 let test_bench_json_file_append () =
   let path = Filename.temp_file "uxsm_bench" ".json" in
@@ -231,10 +299,12 @@ let suite =
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
     Alcotest.test_case "counter monotonicity" `Quick test_counter_monotone;
     Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "reset inside an active span" `Quick test_reset_inside_active_span;
     Alcotest.test_case "nested spans" `Quick test_nested_spans;
     Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parse cases" `Quick test_json_parse_cases;
     Alcotest.test_case "bench record round-trip" `Quick test_bench_json_roundtrip;
+    Alcotest.test_case "bench record pre-executor shape" `Quick test_bench_json_old_shape;
     Alcotest.test_case "bench JSONL append + parse" `Quick test_bench_json_file_append;
   ]
