@@ -452,7 +452,7 @@ let experiments =
 let () =
   let argv = List.tl (Array.to_list Sys.argv) in
   let json_path = ref None in
-  let jobs = ref 1 in
+  let jobs = ref (Executor.jobs_of_env ()) in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()

@@ -1,8 +1,9 @@
 (* Validate BENCH_*.json record files: every line must parse as a run
    record (old records without executor fields are accepted with their
-   documented defaults). Prints a one-line summary per file; exits 1 on
-   the first malformed file. Used by CI's parallel-smoke job and handy
-   after hand-editing or merging baseline files. *)
+   documented defaults). Prints a one-line summary per file; a malformed
+   file is reported with the line number and offending field of its first
+   bad record, and the checker exits 1 once all files were examined. Used
+   by CI and handy after hand-editing or merging baseline files. *)
 
 module Bench_json = Uxsm_obs.Bench_json
 
@@ -33,4 +34,6 @@ let () =
   | [] ->
     prerr_endline "usage: validate FILE.json [FILE.json ...]";
     exit 2
-  | paths -> if not (List.for_all validate paths) then exit 1
+  | paths ->
+    (* Examine every file even after a failure so one run reports them all. *)
+    if not (List.fold_left (fun acc p -> validate p && acc) true paths) then exit 1

@@ -52,9 +52,12 @@ let jobs_arg =
     in
     Arg.conv (parse, Format.pp_print_int)
   in
-  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~docv:"N"
+  (* The default comes from UXSM_JOBS so every subcommand honors the
+     variable; an explicit --jobs always wins. *)
+  Arg.(value & opt jobs_conv (Executor.jobs_of_env ()) & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Worker domains for matcher scoring, per-component ranking and PTQ evaluation \
-               (1 = sequential; results are identical for every N).")
+               (1 = sequential; results are identical for every N). Defaults to the \
+               $(b,UXSM_JOBS) environment variable when set.")
 
 (* ------------------------------- schema --------------------------- *)
 
@@ -487,6 +490,138 @@ let keyword_cmd =
     (Cmd.info "keyword" ~doc:"Keyword search over a dataset's uncertain matching.")
     Term.(const run $ d $ seed_arg $ h_arg $ jobs_arg $ terms)
 
+(* ------------------------------- serve ---------------------------- *)
+
+let serve_cmd =
+  let run socket stdio jobs cache_entries corpora seed =
+    let module Server = Uxsm_server.Server in
+    let module Protocol = Uxsm_server.Protocol in
+    let srv = Server.create ~cache_entries ~exec:(Executor.of_jobs jobs) () in
+    let register (name, d) =
+      match
+        Uxsm_server.Catalog.register (Server.catalog srv) ~name ~doc_seed:7
+          (Protocol.From_dataset (d, seed))
+      with
+      | Ok _ -> Printf.eprintf "registered corpus %s from dataset %s\n%!" name d.Dataset.id
+      | Error e ->
+        Printf.eprintf "cannot register %s: %s\n" name e;
+        exit 1
+    in
+    List.iter register corpora;
+    if stdio then Server.serve_channels srv stdin stdout
+    else
+      match socket with
+      | None ->
+        prerr_endline "serve: need --socket PATH (or --stdio)";
+        exit 2
+      | Some path ->
+        Printf.eprintf "uxsm serve: listening on %s (--jobs %d)\n%!" path jobs;
+        Server.serve_unix srv ~socket_path:path;
+        Printf.eprintf "uxsm serve: drained, shutting down\n%!"
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket to listen on (created; removed on shutdown).")
+  in
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ]
+           ~doc:"Serve one request line per stdin line on stdout instead of a socket \
+                 (scripting and tests).")
+  in
+  let cache_entries =
+    Arg.(value & opt int 64 & info [ "cache-entries" ] ~docv:"K"
+           ~doc:"Capacity of the prepared-artifact LRU cache.")
+  in
+  let corpora =
+    let corpus_conv =
+      let parse s =
+        match String.index_opt s '=' with
+        | Some i -> (
+          let name = String.sub s 0 i
+          and id = String.sub s (i + 1) (String.length s - i - 1) in
+          match Dataset.find id with
+          | Some d when name <> "" -> Ok (name, d)
+          | Some _ -> Error (`Msg "empty corpus name")
+          | None -> Error (`Msg (Printf.sprintf "unknown dataset %S (D1..D10)" id)))
+        | None -> Error (`Msg "expected NAME=DATASET")
+      in
+      Arg.conv (parse, fun fmt (n, (d : Dataset.t)) -> Format.fprintf fmt "%s=%s" n d.id)
+    in
+    Arg.(value & opt_all corpus_conv [] & info [ "corpus" ] ~docv:"NAME=DATASET"
+           ~doc:"Register a corpus from a Table II dataset at startup (repeatable); more \
+                 can be registered later via the $(b,register) request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived query service: line-delimited JSON requests over a Unix \
+             domain socket (or stdio), with an LRU cache of prepared artifacts so \
+             repeated queries skip matching, ranking and block-tree construction. \
+             See DESIGN.md section 10 for the protocol.")
+    Term.(const run $ socket $ stdio $ jobs_arg $ cache_entries $ corpora $ seed_arg)
+
+(* ------------------------------- client --------------------------- *)
+
+let client_cmd =
+  let run socket requests =
+    let requests =
+      match requests with
+      | [ "-" ] ->
+        let rec slurp acc =
+          match input_line stdin with
+          | line -> slurp (if String.trim line = "" then acc else line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        slurp []
+      | rs -> rs
+    in
+    if requests = [] then begin
+      prerr_endline "client: no requests";
+      exit 2
+    end;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "cannot connect to %s: %s\n" socket (Unix.error_message e);
+       exit 1);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    List.iter
+      (fun r ->
+        output_string oc r;
+        output_char oc '\n')
+      requests;
+    flush oc;
+    let failures = ref 0 in
+    (try
+       List.iter
+         (fun _ ->
+           let reply = input_line ic in
+           print_endline reply;
+           match Uxsm_util.Json.of_string reply with
+           | Ok j when Uxsm_util.Json.member "ok" j = Some (Uxsm_util.Json.Bool true) -> ()
+           | _ -> incr failures)
+         requests
+     with End_of_file ->
+       prerr_endline "client: server closed the connection early";
+       exit 1);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if !failures > 0 then exit 3
+  in
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket of a running $(b,uxsm serve).")
+  in
+  let requests =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"REQUEST"
+           ~doc:"JSON request objects, one per argument (or a single $(b,-) to read one \
+                 request per stdin line).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running $(b,uxsm serve) and print one JSON reply per \
+             line. Exits non-zero if any reply is an error.")
+    Term.(const run $ socket $ requests)
+
 let () =
   let info =
     Cmd.info "uxsm" ~version:"1.0.0"
@@ -495,4 +630,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; stats_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd ]))
+          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; stats_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd; serve_cmd; client_cmd ]))

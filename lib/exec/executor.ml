@@ -12,6 +12,14 @@ let of_jobs n =
   if n < 1 then invalid_arg "Executor.of_jobs: jobs must be >= 1";
   if n = 1 then Sequential else Domains n
 
+let jobs_of_env ?(default = 1) () =
+  match Sys.getenv_opt "UXSM_JOBS" with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> default)
+
 let jobs = function
   | Sequential -> 1
   | Domains n -> n

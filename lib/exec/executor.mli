@@ -43,6 +43,12 @@ val of_jobs : int -> t
 (** Map a CLI [--jobs N] value to a backend: [1] is [Sequential], [N > 1]
     is [Domains N]. Raises [Invalid_argument] when [n < 1]. *)
 
+val jobs_of_env : ?default:int -> unit -> int
+(** The [UXSM_JOBS] environment variable as an integer, or [default]
+    (itself defaulting to 1) when it is unset, non-numeric or < 1. The
+    CLI and bench harness use this as the default of their [--jobs]
+    option — an explicit flag always wins. *)
+
 val jobs : t -> int
 (** [Sequential] is [1]; [Domains n] is [n]. *)
 

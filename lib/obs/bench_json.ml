@@ -154,15 +154,18 @@ let run_of_string text =
   | Ok j -> run_of_json j
 
 let runs_of_lines text =
-  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
-  let rec go acc = function
+  (* Line numbers are 1-based over the raw file, blank lines included, so
+     an error message points at the actual line of the JSONL file. *)
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
     | [] -> Ok (List.rev acc)
+    | line :: rest when String.trim line = "" -> go acc (lineno + 1) rest
     | line :: rest -> (
       match run_of_string line with
-      | Ok r -> go (r :: acc) rest
-      | Error e -> Error e)
+      | Ok r -> go (r :: acc) (lineno + 1) rest
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
   in
-  go [] lines
+  go [] 1 lines
 
 let append_to_file ~path r =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in

@@ -57,7 +57,9 @@ val run_to_string : run -> string
 val run_of_string : string -> (run, string) result
 
 val runs_of_lines : string -> (run list, string) result
-(** Parse a whole JSON-Lines file content (blank lines skipped). *)
+(** Parse a whole JSON-Lines file content (blank lines skipped). A
+    malformed record fails with its 1-based line number and the offending
+    field, e.g. ["line 3: field \"jobs\" is not a number"]. *)
 
 val append_to_file : path:string -> run -> unit
 (** Append [run_to_string run] plus a newline to [path], creating it if

@@ -1,0 +1,209 @@
+module Executor = Uxsm_exec.Executor
+module Obs = Uxsm_obs.Obs
+module Matching = Uxsm_mapping.Matching
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Serialize = Uxsm_mapping.Serialize
+module Block_tree = Uxsm_blocktree.Block_tree
+module Dataset = Uxsm_workload.Dataset
+module Gen_doc = Uxsm_workload.Gen_doc
+
+(* Cache traffic is also mirrored into the metrics layer so `stats` (and
+   bench records, if a server ever runs under the harness) can report it
+   alongside the pipeline counters. *)
+let c_hits = Obs.counter "server.cache.hits"
+let c_misses = Obs.counter "server.cache.misses"
+let c_evictions = Obs.counter "server.cache.evictions"
+let s_build = Obs.span "server.artifact_build"
+
+type key =
+  | K_matching of string
+  | K_doc of string
+  | K_mset of string * int
+  | K_tree of string * int * float
+
+let key_string = function
+  | K_matching c -> Printf.sprintf "matching/%s" c
+  | K_doc c -> Printf.sprintf "doc/%s" c
+  | K_mset (c, h) -> Printf.sprintf "mset/%s/h=%d" c h
+  | K_tree (c, h, tau) -> Printf.sprintf "tree/%s/h=%d/tau=%g" c h tau
+
+type artifact =
+  | A_matching of Matching.t
+  | A_doc of Uxsm_xml.Doc.t
+  | A_mset of Mapping_set.t
+  | A_tree of Mapping_set.t * Block_tree.t
+      (** the tree pins its mapping set so a cached tree answers queries
+          even after the standalone mapping-set entry was evicted *)
+
+type entry = {
+  spec : Protocol.source_spec;
+  doc_seed : int;
+  doc_nodes : int option;
+}
+
+type t = {
+  exec : Executor.t;
+  corpora : (string, entry) Hashtbl.t;
+  cache : (key, artifact) Lru.t;
+  lock : Mutex.t;
+}
+
+let create ?(cache_entries = 64) ~exec () =
+  {
+    exec;
+    corpora = Hashtbl.create 8;
+    cache = Lru.create ~capacity:cache_entries;
+    lock = Mutex.create ();
+  }
+
+let executor t = t.exec
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+let spec_description = function
+  | Protocol.From_dataset (d, seed) -> Printf.sprintf "dataset %s (seed %d)" d.Dataset.id seed
+  | Protocol.From_matching_text _ -> "matching text"
+  | Protocol.From_mapping_set_text _ -> "mapping-set text"
+
+(* ----------------------- cached artifact access -------------------- *)
+(* The [_locked] builders assume the catalog lock is held; the eviction
+   counter is reconciled after every cache write. *)
+
+let mirror_evictions t before =
+  let after = (Lru.stats t.cache).Lru.evictions in
+  if after > before then Obs.add c_evictions (after - before)
+
+let cache_get t key =
+  match Lru.find t.cache key with
+  | Some a ->
+    Obs.incr c_hits;
+    Some a
+  | None ->
+    Obs.incr c_misses;
+    None
+
+let cache_put t key a =
+  let before = (Lru.stats t.cache).Lru.evictions in
+  Lru.put t.cache key a;
+  mirror_evictions t before
+
+let entry_locked t name =
+  match Hashtbl.find_opt t.corpora name with
+  | Some e -> e
+  | None -> failf "unknown corpus %S (register it first)" name
+
+let build_matching t (e : entry) =
+  match e.spec with
+  | Protocol.From_dataset (d, seed) -> Dataset.matching ~seed ~exec:t.exec d
+  | Protocol.From_matching_text text -> (
+    match Serialize.matching_of_string text with
+    | Ok m -> m
+    | Error msg -> failf "bad matching text: %s" msg)
+  | Protocol.From_mapping_set_text text -> (
+    match Serialize.mapping_set_of_string text with
+    | Ok mset -> Mapping_set.matching mset
+    | Error msg -> failf "bad mapping-set text: %s" msg)
+
+let matching_locked t name =
+  let key = K_matching name in
+  match cache_get t key with
+  | Some (A_matching m) -> m
+  | _ ->
+    let e = entry_locked t name in
+    let m = Obs.time s_build (fun () -> build_matching t e) in
+    cache_put t key (A_matching m);
+    m
+
+let doc_locked t name =
+  let key = K_doc name in
+  match cache_get t key with
+  | Some (A_doc d) -> d
+  | _ ->
+    let e = entry_locked t name in
+    let source = Matching.source (matching_locked t name) in
+    let d =
+      Obs.time s_build (fun () ->
+          match e.doc_nodes with
+          | Some n -> Gen_doc.generate ~seed:e.doc_seed ~target_nodes:n source
+          | None -> Gen_doc.generate ~seed:e.doc_seed source)
+    in
+    cache_put t key (A_doc d);
+    d
+
+let mset_locked t name ~h =
+  let key = K_mset (name, h) in
+  match cache_get t key with
+  | Some (A_mset s) -> s
+  | _ ->
+    let m = matching_locked t name in
+    let s = Obs.time s_build (fun () -> Mapping_set.generate ~exec:t.exec ~h m) in
+    cache_put t key (A_mset s);
+    s
+
+let tree_locked t name ~h ~tau =
+  let key = K_tree (name, h, tau) in
+  match cache_get t key with
+  | Some (A_tree (s, tr)) -> (s, tr)
+  | _ ->
+    let s = mset_locked t name ~h in
+    let tr =
+      Obs.time s_build (fun () ->
+          Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } s)
+    in
+    cache_put t key (A_tree (s, tr));
+    (s, tr)
+
+(* ------------------------------ public API ------------------------- *)
+
+let wrap f = try Ok (f ()) with Fail msg -> Error msg | Invalid_argument msg -> Error msg
+
+let corpus_of_key = function
+  | K_matching c | K_doc c | K_mset (c, _) | K_tree (c, _, _) -> c
+
+let register t ~name ~doc_seed ?doc_nodes spec =
+  wrap (fun () ->
+      with_lock t (fun () ->
+          (* Replacing a spec must not leave stale derivations behind. *)
+          let previous = Hashtbl.find_opt t.corpora name in
+          if previous <> None then
+            List.iter
+              (fun k -> if corpus_of_key k = name then Lru.remove t.cache k)
+              (Lru.keys t.cache);
+          Hashtbl.replace t.corpora name { spec; doc_seed; doc_nodes };
+          try
+            let m = matching_locked t name in
+            let d = doc_locked t name in
+            (m, d)
+          with e ->
+            (* A spec that does not build must not shadow the old corpus
+               (or register at all), nor leave partial derivations cached. *)
+            List.iter
+              (fun k -> if corpus_of_key k = name then Lru.remove t.cache k)
+              (Lru.keys t.cache);
+            (match previous with
+            | Some p -> Hashtbl.replace t.corpora name p
+            | None -> Hashtbl.remove t.corpora name);
+            raise e))
+
+let corpora t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name e acc -> (name, spec_description e.spec) :: acc) t.corpora []
+      |> List.sort compare)
+
+let matching t name = wrap (fun () -> with_lock t (fun () -> matching_locked t name))
+let doc t name = wrap (fun () -> with_lock t (fun () -> doc_locked t name))
+let mapping_set t name ~h = wrap (fun () -> with_lock t (fun () -> mset_locked t name ~h))
+
+let prepared t name ~h ~tau =
+  wrap (fun () -> with_lock t (fun () -> tree_locked t name ~h ~tau))
+
+let cache_length t = with_lock t (fun () -> Lru.length t.cache)
+let cache_capacity t = Lru.capacity t.cache
+let cache_stats t = with_lock t (fun () -> Lru.stats t.cache)
+let cache_keys t = with_lock t (fun () -> Lru.keys t.cache)

@@ -1,0 +1,72 @@
+(** The server's prepared-artifact catalog: named corpora plus one shared
+    LRU cache of everything derived from them.
+
+    A corpus is registered from a {!Protocol.source_spec} (a Table II
+    dataset, serialized matching text, or serialized mapping-set text) and
+    is stored as that cheap spec; every derived artifact — the scored
+    matching, the generated source document, each top-h mapping set, each
+    (h, τ) block tree — lives in the LRU under a structured {!key}, so the
+    expensive pipeline runs once per key and repeat queries are served from
+    cache. An evicted artifact is rebuilt deterministically from the spec
+    on next use (same seed, same algorithms), so eviction affects latency,
+    never answers.
+
+    All operations are safe under concurrent use from multiple domains (a
+    single internal lock; artifact builds run under it, so concurrent
+    requests for the same key build once and the loser waits). *)
+
+type key =
+  | K_matching of string  (** corpus name *)
+  | K_doc of string
+  | K_mset of string * int  (** corpus, h *)
+  | K_tree of string * int * float  (** corpus, h, τ *)
+
+val key_string : key -> string
+(** Stable rendering for the [stats] endpoint, e.g.
+    ["tree/orders/h=100/tau=0.2"]. *)
+
+type t
+
+val create : ?cache_entries:int -> exec:Uxsm_exec.Executor.t -> unit -> t
+(** [cache_entries] (default 64) bounds the artifact LRU. [exec] schedules
+    the parallelizable stages of artifact builds (matcher scoring, top-h
+    ranking) — query evaluation receives it from the server, not from
+    here. *)
+
+val executor : t -> Uxsm_exec.Executor.t
+
+val register :
+  t ->
+  name:string ->
+  doc_seed:int ->
+  ?doc_nodes:int ->
+  Protocol.source_spec ->
+  (Uxsm_mapping.Matching.t * Uxsm_xml.Doc.t, string) result
+(** Validate the spec by building (and caching) its matching and document.
+    Re-registering a name replaces the spec and invalidates every cached
+    artifact of that corpus. *)
+
+val corpora : t -> (string * string) list
+(** Registered corpora as [(name, spec description)], sorted by name. *)
+
+val matching : t -> string -> (Uxsm_mapping.Matching.t, string) result
+(** [Error] when the corpus is unknown or its spec no longer builds. *)
+
+val doc : t -> string -> (Uxsm_xml.Doc.t, string) result
+
+val mapping_set : t -> string -> h:int -> (Uxsm_mapping.Mapping_set.t, string) result
+
+val prepared :
+  t ->
+  string ->
+  h:int ->
+  tau:float ->
+  (Uxsm_mapping.Mapping_set.t * Uxsm_blocktree.Block_tree.t, string) result
+(** The full pipeline product for one (corpus, h, τ): the top-h mapping set
+    and its block tree (built with the CLI's MAX_B = MAX_F = 500). *)
+
+val cache_length : t -> int
+val cache_capacity : t -> int
+val cache_stats : t -> Lru.stats
+val cache_keys : t -> key list
+(** Most-recently-used first. *)

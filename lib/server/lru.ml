@@ -1,0 +1,119 @@
+(* Hash table over a doubly-linked recency list; the list head is the
+   most-recently-used entry, the tail the next eviction victim. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards MRU *)
+  mutable next : ('k, 'v) node option;  (* towards LRU *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with
+  | Some h -> h.prev <- Some n
+  | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    promote t n;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let evict_over_capacity t =
+  while Hashtbl.length t.tbl > t.cap do
+    match t.tail with
+    | None -> assert false (* population > 0 implies a tail *)
+    | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.tbl victim.key;
+      t.evictions <- t.evictions + 1
+  done
+
+let put t k v =
+  (match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    n.value <- v;
+    promote t n
+  | None ->
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.tbl k n;
+    push_front t n);
+  evict_over_capacity t
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl k
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }

@@ -1,0 +1,47 @@
+(** Bounded least-recently-used cache with hit/miss/eviction accounting.
+
+    A plain single-threaded data structure (the server guards its instance
+    with the catalog lock): a hash table over a doubly-linked recency list.
+    {!find} and {!put} are O(1); when an insertion pushes the population
+    over {!capacity}, least-recently-used entries are dropped and counted
+    as evictions. Keys are compared with structural equality, so tuples of
+    strings, ints and floats — the catalog's artifact keys — work as is. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+(** Current population; always [<= capacity t]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup that promotes the entry to most-recently-used and counts one
+    hit or one miss. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Pure membership probe: no promotion, no counter traffic. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, leaving the entry most-recently-used. Evicts from
+    the LRU end if the cache would exceed its capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drop an entry if present (not counted as an eviction). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry. Counters are cumulative and survive a [clear]. *)
+
+val keys : ('k, 'v) t -> 'k list
+(** All keys, most-recently-used first. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : ('k, 'v) t -> stats
+(** Cumulative since {!create}. *)

@@ -1,0 +1,203 @@
+module Json = Uxsm_util.Json
+module Dataset = Uxsm_workload.Dataset
+
+type source_spec =
+  | From_dataset of Dataset.t * int
+  | From_matching_text of string
+  | From_mapping_set_text of string
+
+type request =
+  | Ping
+  | Register of {
+      name : string;
+      spec : source_spec;
+      doc_seed : int;
+      doc_nodes : int option;
+    }
+  | Match of { corpus : string }
+  | Mappings of { corpus : string; h : int }
+  | Query of { corpus : string; pattern : string; h : int; tau : float; k : int option }
+  | Explain of { corpus : string; pattern : string; h : int; tau : float }
+  | Save of { corpus : string; h : int; path : string option }
+  | Stats
+  | Shutdown
+
+type envelope = {
+  id : Json.t option;
+  req : request;
+}
+
+let default_h = 100
+let default_tau = 0.2
+let default_doc_seed = 7
+
+let op_name = function
+  | Ping -> "ping"
+  | Register _ -> "register"
+  | Match _ -> "match"
+  | Mappings _ -> "mappings"
+  | Query { k = Some _; _ } -> "query_topk"
+  | Query _ -> "query"
+  | Explain _ -> "explain"
+  | Save _ -> "save"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let is_pure = function
+  | Register _ | Shutdown -> false
+  | Ping | Match _ | Mappings _ | Query _ | Explain _ | Save _ | Stats -> true
+
+(* ------------------------------ decoding -------------------------- *)
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+let opt_field conv what op name j =
+  match Json.member name j with
+  | None | Some Json.Null -> None
+  | Some v -> (
+    match conv v with
+    | Some x -> Some x
+    | None -> failf "%s: field %S is not %s" op name what)
+
+let req_field conv what op name j =
+  match opt_field conv what op name j with
+  | Some x -> x
+  | None -> failf "%s: missing field %S" op name
+
+let str_opt = opt_field Json.to_string_opt "a string"
+let str = req_field Json.to_string_opt "a string"
+let int_opt = opt_field Json.to_int "an integer"
+let float_opt = opt_field Json.to_float "a number"
+
+let positive op name = function
+  | Some n when n < 1 -> failf "%s: field %S must be >= 1" op name
+  | v -> v
+
+let h_of op j = Option.value ~default:default_h (positive op "h" (int_opt op "h" j))
+
+let tau_of op j =
+  match float_opt op "tau" j with
+  | None -> default_tau
+  | Some t when t > 0.0 && t <= 1.0 -> t
+  | Some _ -> failf "%s: field \"tau\" must be in (0, 1]" op
+
+let corpus_of op j = str op "corpus" j
+let pattern_of op j = str op "query" j
+
+let register_of j =
+  let op = "register" in
+  let name = str op "name" j in
+  let sources =
+    List.filter_map Fun.id
+      [
+        Option.map
+          (fun id ->
+            match Dataset.find id with
+            | Some d ->
+              let seed = Option.value ~default:42 (int_opt op "seed" j) in
+              From_dataset (d, seed)
+            | None -> failf "%s: unknown dataset %S (D1..D10)" op id)
+          (str_opt op "dataset" j);
+        Option.map (fun t -> From_matching_text t) (str_opt op "matching" j);
+        Option.map (fun t -> From_mapping_set_text t) (str_opt op "mapping_set" j);
+      ]
+  in
+  match sources with
+  | [ spec ] ->
+    Register
+      {
+        name;
+        spec;
+        doc_seed = Option.value ~default:default_doc_seed (int_opt op "doc_seed" j);
+        doc_nodes = positive op "doc_nodes" (int_opt op "doc_nodes" j);
+      }
+  | [] -> failf "%s: need one of \"dataset\", \"matching\", \"mapping_set\"" op
+  | _ -> failf "%s: fields \"dataset\", \"matching\", \"mapping_set\" are exclusive" op
+
+let request_of_json j =
+  match str "request" "op" j with
+  | "ping" -> Ping
+  | "register" -> register_of j
+  | "match" -> Match { corpus = corpus_of "match" j }
+  | "mappings" -> Mappings { corpus = corpus_of "mappings" j; h = h_of "mappings" j }
+  | "query" ->
+    let op = "query" in
+    Query
+      { corpus = corpus_of op j; pattern = pattern_of op j; h = h_of op j; tau = tau_of op j;
+        k = None }
+  | "query_topk" ->
+    let op = "query_topk" in
+    let k =
+      match positive op "k" (int_opt op "k" j) with
+      | Some k -> k
+      | None -> failf "%s: missing field \"k\"" op
+    in
+    Query
+      { corpus = corpus_of op j; pattern = pattern_of op j; h = h_of op j; tau = tau_of op j;
+        k = Some k }
+  | "explain" ->
+    let op = "explain" in
+    Explain
+      { corpus = corpus_of op j; pattern = pattern_of op j; h = h_of op j; tau = tau_of op j }
+  | "save" ->
+    let op = "save" in
+    Save { corpus = corpus_of op j; h = h_of op j; path = str_opt op "path" j }
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | op -> failf "unknown op %S" op
+
+type parse_error = { err_id : Json.t option; message : string }
+
+let parse j =
+  match j with
+  | Json.Assoc _ -> (
+    let err_id = Json.member "id" j in
+    try Ok { id = err_id; req = request_of_json j }
+    with Fail msg -> Error { err_id; message = msg })
+  | _ -> Error { err_id = None; message = "request is not a JSON object" }
+
+let parse_line line =
+  match Json.of_string line with
+  | Error e -> Error { err_id = None; message = Printf.sprintf "malformed JSON: %s" e }
+  | Ok j -> parse j
+
+(* ------------------------------ encoding -------------------------- *)
+
+let to_json { id; req } =
+  let id_field = match id with None -> [] | Some v -> [ ("id", v) ] in
+  let fields =
+    match req with
+    | Ping -> []
+    | Register { name; spec; doc_seed; doc_nodes } ->
+      [ ("name", Json.String name) ]
+      @ (match spec with
+        | From_dataset (d, seed) -> [ ("dataset", Json.String d.Dataset.id); ("seed", Json.Int seed) ]
+        | From_matching_text t -> [ ("matching", Json.String t) ]
+        | From_mapping_set_text t -> [ ("mapping_set", Json.String t) ])
+      @ [ ("doc_seed", Json.Int doc_seed) ]
+      @ (match doc_nodes with None -> [] | Some n -> [ ("doc_nodes", Json.Int n) ])
+    | Match { corpus } -> [ ("corpus", Json.String corpus) ]
+    | Mappings { corpus; h } -> [ ("corpus", Json.String corpus); ("h", Json.Int h) ]
+    | Query { corpus; pattern; h; tau; k } ->
+      [ ("corpus", Json.String corpus); ("query", Json.String pattern); ("h", Json.Int h);
+        ("tau", Json.Float tau) ]
+      @ (match k with None -> [] | Some k -> [ ("k", Json.Int k) ])
+    | Explain { corpus; pattern; h; tau } ->
+      [ ("corpus", Json.String corpus); ("query", Json.String pattern); ("h", Json.Int h);
+        ("tau", Json.Float tau) ]
+    | Save { corpus; h; path } ->
+      [ ("corpus", Json.String corpus); ("h", Json.Int h) ]
+      @ (match path with None -> [] | Some p -> [ ("path", Json.String p) ])
+    | Stats | Shutdown -> []
+  in
+  Json.Assoc (id_field @ (("op", Json.String (op_name req)) :: fields))
+
+let ok_response ?id fields =
+  let id_field = match id with None -> [] | Some v -> [ ("id", v) ] in
+  Json.Assoc (id_field @ (("ok", Json.Bool true) :: fields))
+
+let error_response ?id msg =
+  let id_field = match id with None -> [] | Some v -> [ ("id", v) ] in
+  Json.Assoc (id_field @ [ ("ok", Json.Bool false); ("error", Json.String msg) ])

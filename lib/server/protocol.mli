@@ -1,0 +1,90 @@
+(** The `uxsm serve` wire protocol: one JSON object per line in each
+    direction (JSON Lines), parsed and emitted with {!Uxsm_util.Json}.
+
+    Every request is an object with an ["op"] field naming the endpoint,
+    op-specific parameters, and an optional ["id"] of any JSON type that is
+    echoed verbatim in the response, so pipelining clients can correlate
+    replies. Every response carries ["ok"] — [true] with op-specific
+    payload fields, or [false] with a human-readable ["error"]. Malformed
+    input is answered with an error response, never a dropped connection.
+
+    The grammar is documented in DESIGN.md §10. *)
+
+(** How a corpus' matching is obtained at registration time. *)
+type source_spec =
+  | From_dataset of Uxsm_workload.Dataset.t * int
+      (** Table II dataset and generation seed: the matcher runs on the
+          dataset's schema pair. *)
+  | From_matching_text of string
+      (** [uxsm-matching v1] text ({!Uxsm_mapping.Serialize}). *)
+  | From_mapping_set_text of string
+      (** [uxsm-mappings v1] text; the embedded matching is used and top-h
+          sets are re-derived per requested [h]. *)
+
+type request =
+  | Ping
+  | Register of {
+      name : string;
+      spec : source_spec;
+      doc_seed : int;  (** seed for the generated source document *)
+      doc_nodes : int option;  (** target node count; [None] = generator default *)
+    }
+  | Match of { corpus : string }
+  | Mappings of { corpus : string; h : int }
+  | Query of {
+      corpus : string;
+      pattern : string;  (** twig query, Table III syntax *)
+      h : int;
+      tau : float;
+      k : int option;  (** [Some k] is the [query_topk] endpoint *)
+    }
+  | Explain of { corpus : string; pattern : string; h : int; tau : float }
+  | Save of { corpus : string; h : int; path : string option }
+  | Stats
+  | Shutdown
+
+type envelope = {
+  id : Uxsm_util.Json.t option;  (** echoed verbatim when present *)
+  req : request;
+}
+
+val default_h : int
+(** 100 — the paper's default [|M|]. *)
+
+val default_tau : float
+(** 0.2 — the paper's default confidence threshold. *)
+
+val op_name : request -> string
+(** The wire name: ["ping"], ["register"], ["match"], ["mappings"],
+    ["query"], ["query_topk"], ["explain"], ["save"], ["stats"],
+    ["shutdown"]. *)
+
+val is_pure : request -> bool
+(** [true] when the request neither mutates the catalog nor stops the
+    server, so a batch of them may be dispatched concurrently.
+    [Register] and [Shutdown] are the barriers. *)
+
+type parse_error = {
+  err_id : Uxsm_util.Json.t option;
+      (** the request's ["id"], when the line was at least a JSON object —
+          echoed in the error response so pipelining clients can correlate
+          failures too *)
+  message : string;
+}
+
+val parse : Uxsm_util.Json.t -> (envelope, parse_error) result
+(** Decode a request object. Errors name the offending field, e.g.
+    ["register: missing field \"name\""]. *)
+
+val parse_line : string -> (envelope, parse_error) result
+(** {!parse} composed with JSON parsing of one line. *)
+
+val to_json : envelope -> Uxsm_util.Json.t
+(** Encode a request; [parse (to_json e)] restores [e] (up to dataset
+    identity for [From_dataset]). Used by the client and tests. *)
+
+val ok_response : ?id:Uxsm_util.Json.t -> (string * Uxsm_util.Json.t) list -> Uxsm_util.Json.t
+(** [{"id": id?, "ok": true, ...fields}]. *)
+
+val error_response : ?id:Uxsm_util.Json.t -> string -> Uxsm_util.Json.t
+(** [{"id": id?, "ok": false, "error": msg}]. *)

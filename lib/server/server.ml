@@ -1,0 +1,355 @@
+module Json = Uxsm_util.Json
+module Executor = Uxsm_exec.Executor
+module Obs = Uxsm_obs.Obs
+module Schema = Uxsm_schema.Schema
+module Doc = Uxsm_xml.Doc
+module Matching = Uxsm_mapping.Matching
+module Mapping = Uxsm_mapping.Mapping
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Serialize = Uxsm_mapping.Serialize
+module Ptq = Uxsm_ptq.Ptq
+
+let c_requests = Obs.counter "server.requests"
+let c_errors = Obs.counter "server.errors"
+let c_batches = Obs.counter "server.batches"
+let c_connections = Obs.counter "server.connections"
+let c_bytes_in = Obs.counter "server.bytes_in"
+let c_bytes_out = Obs.counter "server.bytes_out"
+
+type t = {
+  cat : Catalog.t;
+  exec : Executor.t;
+  stop : bool Atomic.t;
+}
+
+let create ?cache_entries ?(exec = Executor.sequential) () =
+  { cat = Catalog.create ?cache_entries ~exec (); exec; stop = Atomic.make false }
+
+let catalog t = t.cat
+let stopping t = Atomic.get t.stop
+let request_stop t = Atomic.set t.stop true
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+let ok_or = function
+  | Ok v -> v
+  | Error msg -> raise (Fail msg)
+
+(* ------------------------------ dispatch -------------------------- *)
+
+let parse_pattern s =
+  match Uxsm_twig.Pattern_parser.parse s with
+  | Ok q -> q
+  | Error e -> failf "bad query %S: %s" s e
+
+let consolidated_json answers =
+  Json.List
+    (List.map
+       (fun (bindings, p) ->
+         Json.Assoc
+           [ ("probability", Json.Float p); ("matches", Json.Int (List.length bindings)) ])
+       (Ptq.consolidate answers))
+
+let query_context t ~corpus ~h ~tau =
+  let mset, tree = ok_or (Catalog.prepared t.cat corpus ~h ~tau) in
+  let doc = ok_or (Catalog.doc t.cat corpus) in
+  (mset, Ptq.context ~exec:t.exec ~tree ~mset ~doc ())
+
+let dispatch t (req : Protocol.request) : (string * Json.t) list =
+  match req with
+  | Protocol.Ping -> [ ("reply", Json.String "pong") ]
+  | Protocol.Register { name; spec; doc_seed; doc_nodes } ->
+    let m, d = ok_or (Catalog.register t.cat ~name ~doc_seed ?doc_nodes spec) in
+    [
+      ("corpus", Json.String name);
+      ("source_elements", Json.Int (Schema.size (Matching.source m)));
+      ("target_elements", Json.Int (Schema.size (Matching.target m)));
+      ("capacity", Json.Int (Matching.capacity m));
+      ("doc_nodes", Json.Int (Doc.size d));
+    ]
+  | Protocol.Match { corpus } ->
+    let m = ok_or (Catalog.matching t.cat corpus) in
+    let source = Matching.source m and target = Matching.target m in
+    [
+      ("corpus", Json.String corpus);
+      ("capacity", Json.Int (Matching.capacity m));
+      ( "correspondences",
+        Json.List
+          (List.map
+             (fun (c : Matching.corr) ->
+               Json.Assoc
+                 [
+                   ("score", Json.Float c.score);
+                   ("source", Json.String (Schema.path_string source c.source));
+                   ("target", Json.String (Schema.path_string target c.target));
+                 ])
+             (Matching.correspondences m)) );
+    ]
+  | Protocol.Mappings { corpus; h } ->
+    let mset = ok_or (Catalog.mapping_set t.cat corpus ~h) in
+    [
+      ("corpus", Json.String corpus);
+      ("h", Json.Int h);
+      ("count", Json.Int (Mapping_set.size mset));
+      ("o_ratio", Json.Float (Mapping_set.average_o_ratio mset));
+      ( "mappings",
+        Json.List
+          (List.map
+             (fun (m, p) ->
+               Json.Assoc
+                 [
+                   ("probability", Json.Float p);
+                   ("score", Json.Float (Mapping.score m));
+                   ("size", Json.Int (Mapping.size m));
+                 ])
+             (Mapping_set.mappings mset)) );
+    ]
+  | Protocol.Query { corpus; pattern; h; tau; k } ->
+    let q = parse_pattern pattern in
+    let _, ctx = query_context t ~corpus ~h ~tau in
+    let answers =
+      match k with
+      | Some k -> Ptq.query_topk ctx ~k q
+      | None -> Ptq.query_tree ctx q
+    in
+    [
+      ("corpus", Json.String corpus);
+      ("query", Json.String pattern);
+      ("h", Json.Int h);
+      ("tau", Json.Float tau);
+    ]
+    @ (match k with None -> [] | Some k -> [ ("k", Json.Int k) ])
+    @ [
+        ("relevant", Json.Int (List.length answers));
+        ("answers", consolidated_json answers);
+      ]
+  | Protocol.Explain { corpus; pattern; h; tau } ->
+    let q = parse_pattern pattern in
+    let _, ctx = query_context t ~corpus ~h ~tau in
+    let stats, answers = Ptq.explain ctx q in
+    [
+      ("corpus", Json.String corpus);
+      ("query", Json.String pattern);
+      ("resolutions", Json.Int stats.Ptq.resolutions);
+      ("relevant_mappings", Json.Int stats.Ptq.relevant_mappings);
+      ("blocks_used", Json.Int stats.Ptq.blocks_used);
+      ("shared_evaluations", Json.Int stats.Ptq.shared_evaluations);
+      ("direct_evaluations", Json.Int stats.Ptq.direct_evaluations);
+      ("decompositions", Json.Int stats.Ptq.decompositions);
+      ("joins", Json.Int stats.Ptq.joins);
+      ("answer_sets", Json.Int (List.length (Ptq.consolidate answers)));
+    ]
+  | Protocol.Save { corpus; h; path } ->
+    let mset = ok_or (Catalog.mapping_set t.cat corpus ~h) in
+    let text = Serialize.mapping_set_to_string mset in
+    let base =
+      [ ("corpus", Json.String corpus); ("h", Json.Int h);
+        ("bytes", Json.Int (String.length text)) ]
+    in
+    (match path with
+    | None -> base @ [ ("text", Json.String text) ]
+    | Some p ->
+      let oc = open_out p in
+      output_string oc text;
+      close_out oc;
+      base @ [ ("path", Json.String p) ])
+  | Protocol.Stats ->
+    let snap = Obs.nonzero (Obs.snapshot ()) in
+    let cache_stats = Catalog.cache_stats t.cat in
+    [
+      ( "corpora",
+        Json.List
+          (List.map
+             (fun (name, desc) ->
+               Json.Assoc [ ("name", Json.String name); ("spec", Json.String desc) ])
+             (Catalog.corpora t.cat)) );
+      ( "cache",
+        Json.Assoc
+          [
+            ("capacity", Json.Int (Catalog.cache_capacity t.cat));
+            ("entries", Json.Int (Catalog.cache_length t.cat));
+            ("hits", Json.Int cache_stats.Lru.hits);
+            ("misses", Json.Int cache_stats.Lru.misses);
+            ("evictions", Json.Int cache_stats.Lru.evictions);
+            ( "keys",
+              Json.List
+                (List.map
+                   (fun k -> Json.String (Catalog.key_string k))
+                   (Catalog.cache_keys t.cat)) );
+          ] );
+      ( "executor",
+        Json.Assoc
+          [
+            ("backend", Json.String (Executor.backend_name t.exec));
+            ("jobs", Json.Int (Executor.jobs t.exec));
+          ] );
+      ( "counters",
+        Json.Assoc (List.map (fun (n, v) -> (n, Json.Int v)) snap.Obs.snap_counters) );
+      ( "spans",
+        Json.Assoc
+          (List.map
+             (fun (n, (count, seconds)) ->
+               (n, Json.Assoc [ ("count", Json.Int count); ("seconds", Json.Float seconds) ]))
+             snap.Obs.snap_spans) );
+    ]
+  | Protocol.Shutdown ->
+    request_stop t;
+    [ ("stopping", Json.Bool true) ]
+
+let handle_request t (env : Protocol.envelope) =
+  Obs.incr c_requests;
+  let span = Obs.span ("server.op." ^ Protocol.op_name env.req) in
+  match Obs.time span (fun () -> dispatch t env.req) with
+  | fields -> Protocol.ok_response ?id:env.id fields
+  | exception e ->
+    Obs.incr c_errors;
+    let msg =
+      match e with
+      | Fail m -> m
+      | Invalid_argument m | Failure m -> m
+      | Sys_error m -> m
+      | e -> Printexc.to_string e
+    in
+    Protocol.error_response ?id:env.id msg
+
+let respond_parsed t = function
+  | Ok env -> Json.to_string (handle_request t env)
+  | Error { Protocol.err_id; message } ->
+    Obs.incr c_requests;
+    Obs.incr c_errors;
+    Json.to_string (Protocol.error_response ?id:err_id message)
+
+let handle_line t line = respond_parsed t (Protocol.parse_line line)
+
+(* Batch dispatch: runs of consecutive pure requests fan out through the
+   executor (responses merge in index order, so the reply stream is
+   identical to sequential handling); Register and Shutdown are barriers
+   because they mutate catalog state or stop the server. A run of one
+   request is handled inline — inside a pool worker the nested-fanout
+   guard would rob it of its own per-request parallelism. *)
+let handle_lines t lines =
+  let parsed = List.map Protocol.parse_line lines in
+  let pure = function
+    | Ok env -> Protocol.is_pure env.Protocol.req
+    | Error _ -> true (* an error reply touches no state *)
+  in
+  let rec split_run acc = function
+    | p :: rest when pure p -> split_run (p :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | p :: rest when not (pure p) -> go (respond_parsed t p :: acc) rest
+    | ps ->
+      let run, rest = split_run [] ps in
+      let resps =
+        match run with
+        | [ p ] -> [ respond_parsed t p ]
+        | _ when Executor.is_parallel t.exec -> Executor.map_list t.exec (respond_parsed t) run
+        | _ -> List.map (respond_parsed t) run
+      in
+      go (List.rev_append resps acc) rest
+  in
+  go [] parsed
+
+(* ----------------------------- transports ------------------------- *)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    if not (stopping t) then
+      match input_line ic with
+      | line ->
+        Obs.add c_bytes_in (String.length line + 1);
+        if String.trim line <> "" then begin
+          let resp = handle_line t line in
+          Obs.add c_bytes_out (String.length resp + 1);
+          output_string oc resp;
+          output_char oc '\n';
+          flush oc
+        end;
+        loop ()
+      | exception End_of_file -> ()
+  in
+  loop ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* Pop every complete (newline-terminated) line out of [buf], leaving a
+   trailing partial line in place. Blank lines are skipped, not answered. *)
+let drain_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some i ->
+    Buffer.clear buf;
+    Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+    String.split_on_char '\n' (String.sub s 0 i)
+    |> List.filter (fun l -> String.trim l <> "")
+
+let serve_conn t fd =
+  Obs.incr c_connections;
+  let pending = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    if not (stopping t) then
+      (* A short select timeout keeps shutdown (signal or another
+         connection's request in the future) responsive even while idle. *)
+      match Unix.select [ fd ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ ->
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Obs.add c_bytes_in n;
+          Buffer.add_subbytes pending chunk 0 n;
+          (match drain_lines pending with
+          | [] -> ()
+          | lines ->
+            Obs.incr c_batches;
+            let out =
+              String.concat "" (List.map (fun r -> r ^ "\n") (handle_lines t lines))
+            in
+            Obs.add c_bytes_out (String.length out);
+            write_all fd out);
+          loop ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try loop () with Unix.Unix_error _ -> ())
+
+let serve_unix t ~socket_path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX socket_path);
+  Unix.listen sock 16;
+  let install s = Sys.signal s (Sys.Signal_handle (fun _ -> request_stop t)) in
+  let old_int = install Sys.sigint in
+  let old_term = install Sys.sigterm in
+  let finally () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigterm old_term
+  in
+  Fun.protect ~finally (fun () ->
+      let rec accept_loop () =
+        if not (stopping t) then begin
+          (match Unix.select [ sock ] [] [] 0.25 with
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept sock with
+            | fd, _ -> serve_conn t fd
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ())

@@ -1,0 +1,58 @@
+(** The long-lived `uxsm serve` query service.
+
+    One server value holds a {!Catalog.t} (corpora + artifact LRU) and
+    dispatches {!Protocol} requests against it. Three layers are exposed,
+    innermost first, so tests can exercise dispatch without any transport:
+
+    - {!handle_request} / {!handle_line}: one request → one response.
+      Malformed or failing requests produce [{"ok": false, "error": ...}];
+      this layer never raises.
+    - {!handle_lines}: a pipelined batch. Runs of consecutive {e pure}
+      requests (see {!Protocol.is_pure}) are fanned out through the
+      server's {!Uxsm_exec.Executor} — on a multi-domain server,
+      independent requests overlap, and each request's own fan-out
+      degrades to sequential via the executor's nested-fanout guard.
+      [Register] and [Shutdown] act as barriers. Responses are returned
+      in request order regardless of backend. A lone request bypasses the
+      pool so it keeps its per-request parallelism.
+    - {!serve_channels} / {!serve_unix}: the stdio and Unix-domain-socket
+      transports (line-delimited JSON both ways). The socket transport
+      dispatches every chunk of pipelined lines as one batch.
+
+    Every request is wrapped in an [Uxsm_obs] span
+    ([server.op.<endpoint>]) and counted ([server.requests],
+    [server.errors], transport bytes, connections); the [stats] endpoint
+    serves these counters together with the cache and catalog state. *)
+
+type t
+
+val create : ?cache_entries:int -> ?exec:Uxsm_exec.Executor.t -> unit -> t
+(** [exec] defaults to sequential; [cache_entries] to the catalog
+    default. *)
+
+val catalog : t -> Catalog.t
+
+val stopping : t -> bool
+(** [true] once a [shutdown] request was served or {!request_stop} was
+    called; transports drain in-flight requests and then return. *)
+
+val request_stop : t -> unit
+(** Signal-handler-safe: flips an atomic flag, nothing else. *)
+
+val handle_request : t -> Protocol.envelope -> Uxsm_util.Json.t
+val handle_line : t -> string -> string
+
+val handle_lines : t -> string list -> string list
+(** Batch dispatch; one response line per request line, in order. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Read request lines until EOF or shutdown, replying (and flushing)
+    after each line. *)
+
+val serve_unix : t -> socket_path:string -> unit
+(** Bind a Unix domain socket (replacing a stale file), then accept one
+    connection at a time until {!stopping}; the socket file is removed on
+    return. Within a connection, all complete lines available are handled
+    as one batch. A shutdown request answers every request received so
+    far, then closes the listener. SIGINT/SIGTERM handlers are installed
+    for the duration and drain the same way. *)

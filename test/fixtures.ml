@@ -130,9 +130,9 @@ let random_schema prng ~n =
   done;
   Schema.of_spec (Schema.spec root (List.rev !root_kids))
 
-(* Random mapping set over random schemas: pick correspondences, build a
-   matching, and take its top-h mappings. *)
-let random_mapping_set prng ~source_n ~target_n ~corrs ~h =
+(* Random matching over random schemas: distinct correspondences with
+   scores in (0, 1]. *)
+let random_matching prng ~source_n ~target_n ~corrs =
   let source = random_schema prng ~n:source_n in
   let target = random_schema prng ~n:target_n in
   let seen = Hashtbl.create 16 in
@@ -154,8 +154,11 @@ let random_mapping_set prng ~source_n ~target_n ~corrs ~h =
   for _ = 1 to attempts do
     try_once ()
   done;
-  let matching = Matching.create ~source ~target !cs in
-  Mapping_set.generate ~h matching
+  Matching.create ~source ~target !cs
+
+(* Random mapping set: a random matching's top-h mappings. *)
+let random_mapping_set prng ~source_n ~target_n ~corrs ~h =
+  Mapping_set.generate ~h (random_matching prng ~source_n ~target_n ~corrs)
 
 (* Random instance document conforming to a schema: repeatable elements
    occur 1-3 times; leaves carry a small text vocabulary so that value

@@ -13,6 +13,7 @@ let () =
       ("twig", Test_twig.suite);
       ("ptq", Test_ptq.suite);
       ("workload", Test_workload.suite);
+      ("server", Test_server.suite);
       ("extensions", Test_extensions.suite);
       ("robustness", Test_robustness.suite);
       ("edge", Test_edge.suite);

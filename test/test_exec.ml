@@ -36,6 +36,26 @@ let test_construction () =
     (Invalid_argument "Executor.domains: pool size must be >= 1") (fun () ->
       ignore (Executor.domains 0))
 
+let test_jobs_of_env () =
+  (* UXSM_JOBS is the --jobs default across the CLI and bench; an unset,
+     malformed or out-of-range value falls back to the given default. *)
+  let with_env v f =
+    (match v with Some s -> Unix.putenv "UXSM_JOBS" s | None -> Unix.putenv "UXSM_JOBS" "");
+    Fun.protect ~finally:(fun () -> Unix.putenv "UXSM_JOBS" "") f
+  in
+  with_env (Some "4") (fun () ->
+      Alcotest.(check int) "UXSM_JOBS=4" 4 (Executor.jobs_of_env ()));
+  with_env (Some " 3 ") (fun () ->
+      Alcotest.(check int) "whitespace tolerated" 3 (Executor.jobs_of_env ()));
+  with_env (Some "0") (fun () ->
+      Alcotest.(check int) "zero rejected" 1 (Executor.jobs_of_env ()));
+  with_env (Some "-2") (fun () ->
+      Alcotest.(check int) "negative rejected" 1 (Executor.jobs_of_env ()));
+  with_env (Some "many") (fun () ->
+      Alcotest.(check int) "garbage rejected" 5 (Executor.jobs_of_env ~default:5 ()));
+  with_env None (fun () ->
+      Alcotest.(check int) "empty value falls back" 2 (Executor.jobs_of_env ~default:2 ()))
+
 let test_map_ordering () =
   let input = Array.init 500 Fun.id in
   let f i = (i * i) - (3 * i) in
@@ -191,6 +211,7 @@ let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
     Alcotest.test_case "executor construction" `Quick test_construction;
+    Alcotest.test_case "UXSM_JOBS default" `Quick test_jobs_of_env;
     Alcotest.test_case "map ordering across backends" `Quick test_map_ordering;
     Alcotest.test_case "map_reduce folds in index order" `Quick test_map_reduce_deterministic;
     Alcotest.test_case "worker exceptions propagate" `Quick test_exceptions_propagate;

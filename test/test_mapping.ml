@@ -163,6 +163,55 @@ let test_feedback () =
   (* Expected entropy after asking is below the current entropy. *)
   Alcotest.(check bool) "information is gained" true (h_icn < Metrics.entropy mset)
 
+(* --------------------- Serialize round trips ---------------------- *)
+(* The server's register/save endpoints lean on Serialize, so the format
+   is property-tested here: to_string → of_string is the identity on
+   random matchings and mapping sets (scores exactly — %.17g round-trips
+   every float — probabilities up to renormalization noise). *)
+
+let schemas_equal a b = Schema.to_string a = Schema.to_string b
+
+let prop_matching_round_trip =
+  QCheck.Test.make ~count:100 ~name:"Serialize.matching to_string/of_string = id"
+    QCheck.(triple (int_range 1 1000000) (int_range 2 25) (int_range 1 30))
+    (fun (seed, n, corrs) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let m = Fixtures.random_matching prng ~source_n:n ~target_n:(1 + (n / 2)) ~corrs in
+      match Uxsm_mapping.Serialize.matching_of_string
+              (Uxsm_mapping.Serialize.matching_to_string m)
+      with
+      | Error _ -> false
+      | Ok m' ->
+        schemas_equal (Matching.source m) (Matching.source m')
+        && schemas_equal (Matching.target m) (Matching.target m')
+        && Matching.capacity m = Matching.capacity m'
+        && List.for_all2
+             (fun (a : Matching.corr) (b : Matching.corr) ->
+               a.source = b.source && a.target = b.target && Float.equal a.score b.score)
+             (Matching.correspondences m)
+             (Matching.correspondences m'))
+
+let prop_mapping_set_round_trip =
+  QCheck.Test.make ~count:100 ~name:"Serialize.mapping_set to_string/of_string = id"
+    QCheck.(pair (int_range 1 1000000) (int_range 1 25))
+    (fun (seed, h) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let mset = Fixtures.random_mapping_set prng ~source_n:12 ~target_n:9 ~corrs:14 ~h in
+      match Uxsm_mapping.Serialize.mapping_set_of_string
+              (Uxsm_mapping.Serialize.mapping_set_to_string mset)
+      with
+      | Error _ -> false
+      | Ok mset' ->
+        schemas_equal (Mapping_set.source mset) (Mapping_set.source mset')
+        && schemas_equal (Mapping_set.target mset) (Mapping_set.target mset')
+        && Mapping_set.size mset = Mapping_set.size mset'
+        && List.for_all2
+             (fun (m1, p1) (m2, p2) ->
+               Mapping.equal m1 m2
+               && Float.equal (Mapping.score m1) (Mapping.score m2)
+               && Float.abs (p1 -. p2) <= 1e-12)
+             (Mapping_set.mappings mset) (Mapping_set.mappings mset'))
+
 let suite =
   [
     Alcotest.test_case "mapping validation" `Quick test_mapping_validation;
@@ -176,4 +225,6 @@ let suite =
     Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
     Alcotest.test_case "uncertainty metrics" `Quick test_metrics;
     Alcotest.test_case "expert feedback" `Quick test_feedback;
+    QCheck_alcotest.to_alcotest prop_matching_round_trip;
+    QCheck_alcotest.to_alcotest prop_mapping_set_round_trip;
   ]

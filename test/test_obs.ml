@@ -294,6 +294,33 @@ let test_bench_json_file_append () =
       (fun id -> Alcotest.(check bool) (id ^ " present") true (List.mem id ids))
       [ "fig9f"; "table2" ]
 
+let test_bench_jsonl_error_location () =
+  let good = Bench_json.run_to_string (sample_run ()) in
+  (* A record with a mistyped field fails with its line number (counting
+     raw file lines, blanks included) and the offending field. *)
+  let content =
+    String.concat "\n"
+      [ good; ""; {|{"git_rev": "x", "unix_time": 0, "argv": [], "jobs": "four", "executor": "s", "experiments": []}|}; good ]
+  in
+  (match Bench_json.runs_of_lines content with
+  | Ok _ -> Alcotest.fail "mistyped record must not parse"
+  | Error e ->
+    Alcotest.(check bool) ("line number reported: " ^ e) true
+      (String.length e >= 7 && String.sub e 0 7 = "line 3:");
+    Alcotest.(check bool) ("offending field named: " ^ e) true
+      (let needle = "\"jobs\"" in
+       let rec mem i =
+         i + String.length needle <= String.length e
+         && (String.sub e i (String.length needle) = needle || mem (i + 1))
+       in
+       mem 0));
+  (* Unparseable JSON is located the same way. *)
+  match Bench_json.runs_of_lines (good ^ "\nnot json at all\n") with
+  | Ok _ -> Alcotest.fail "garbage line must not parse"
+  | Error e ->
+    Alcotest.(check bool) ("line number reported: " ^ e) true
+      (String.length e >= 7 && String.sub e 0 7 = "line 2:")
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -307,4 +334,5 @@ let suite =
     Alcotest.test_case "bench record round-trip" `Quick test_bench_json_roundtrip;
     Alcotest.test_case "bench record pre-executor shape" `Quick test_bench_json_old_shape;
     Alcotest.test_case "bench JSONL append + parse" `Quick test_bench_json_file_append;
+    Alcotest.test_case "bench JSONL error location" `Quick test_bench_jsonl_error_location;
   ]

@@ -1,0 +1,377 @@
+(* Server subsystem tests: the LRU cache as a standalone structure, the
+   wire protocol codecs, dispatch against an in-process server (no
+   transport), batching through the executor, and the end-to-end
+   amortization property the subsystem exists for — the second identical
+   query is served from the prepared-artifact cache without rebuilding
+   the block tree. *)
+
+module Json = Uxsm_util.Json
+module Executor = Uxsm_exec.Executor
+module Obs = Uxsm_obs.Obs
+module Serialize = Uxsm_mapping.Serialize
+module Mapping_set = Uxsm_mapping.Mapping_set
+module Lru = Uxsm_server.Lru
+module Protocol = Uxsm_server.Protocol
+module Catalog = Uxsm_server.Catalog
+module Server = Uxsm_server.Server
+
+(* ------------------------------- LRU ------------------------------ *)
+
+let test_lru_capacity_bounds () =
+  (match Lru.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected");
+  let c = Lru.create ~capacity:3 in
+  Alcotest.(check int) "capacity recorded" 3 (Lru.capacity c);
+  for i = 1 to 10 do
+    Lru.put c i (i * i)
+  done;
+  Alcotest.(check int) "population bounded" 3 (Lru.length c);
+  Alcotest.(check (list int)) "newest three survive, MRU first" [ 10; 9; 8 ] (Lru.keys c);
+  Alcotest.(check int) "seven evictions" 7 (Lru.stats c).Lru.evictions
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:3 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Lru.put c "c" 3;
+  (* Touch "a": it becomes MRU, so the next eviction takes "b". *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find c "a");
+  Lru.put c "d" 4;
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check (list string)) "recency order" [ "d"; "a"; "c" ] (Lru.keys c);
+  (* Replacing a key promotes it without growing the population. *)
+  Lru.put c "c" 33;
+  Alcotest.(check (list string)) "replace promotes" [ "c"; "d"; "a" ] (Lru.keys c);
+  Alcotest.(check int) "no growth on replace" 3 (Lru.length c);
+  Alcotest.(check (option int)) "replaced value visible" (Some 33) (Lru.find c "c");
+  (* remove is not an eviction. *)
+  let evs = (Lru.stats c).Lru.evictions in
+  Lru.remove c "d";
+  Alcotest.(check int) "removed" 2 (Lru.length c);
+  Alcotest.(check int) "remove not counted" evs (Lru.stats c).Lru.evictions
+
+let test_lru_counters () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check (option int)) "miss on empty" None (Lru.find c 1);
+  Lru.put c 1 10;
+  ignore (Lru.find c 1);
+  ignore (Lru.find c 1);
+  ignore (Lru.find c 2);
+  let s = Lru.stats c in
+  Alcotest.(check int) "hits" 2 s.Lru.hits;
+  Alcotest.(check int) "misses" 2 s.Lru.misses;
+  Alcotest.(check bool) "mem is silent" true (Lru.mem c 1 && not (Lru.mem c 2));
+  Alcotest.(check int) "mem did not count" 2 (Lru.stats c).Lru.hits;
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check int) "counters survive clear" 2 (Lru.stats c).Lru.hits
+
+(* ----------------------------- protocol --------------------------- *)
+
+let parse_ok line =
+  match Protocol.parse_line line with
+  | Ok env -> env
+  | Error e -> Alcotest.failf "unexpected parse error on %s: %s" line e.Protocol.message
+
+let parse_err line =
+  match Protocol.parse_line line with
+  | Ok _ -> Alcotest.failf "expected a parse error on %s" line
+  | Error e -> e.Protocol.message
+
+let contains ~needle hay =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_protocol_parse () =
+  let env = parse_ok {|{"op":"ping","id":7}|} in
+  Alcotest.(check string) "op" "ping" (Protocol.op_name env.Protocol.req);
+  Alcotest.(check bool) "id echoed" true (env.Protocol.id = Some (Json.Int 7));
+  (match (parse_ok {|{"op":"query","corpus":"c","query":"a/b"}|}).Protocol.req with
+  | Protocol.Query { corpus; pattern; h; tau; k } ->
+    Alcotest.(check string) "corpus" "c" corpus;
+    Alcotest.(check string) "pattern" "a/b" pattern;
+    Alcotest.(check int) "default h" Protocol.default_h h;
+    Alcotest.(check (float 0.0)) "default tau" Protocol.default_tau tau;
+    Alcotest.(check bool) "no k" true (k = None)
+  | _ -> Alcotest.fail "expected Query");
+  (match (parse_ok {|{"op":"query_topk","corpus":"c","query":"a","k":3,"h":7,"tau":0.5}|}).Protocol.req with
+  | Protocol.Query { h = 7; tau = 0.5; k = Some 3; _ } -> ()
+  | _ -> Alcotest.fail "expected parameterized Query");
+  (match (parse_ok {|{"op":"register","name":"d","dataset":"D1","seed":9}|}).Protocol.req with
+  | Protocol.Register { name = "d"; spec = Protocol.From_dataset (d, 9); _ } ->
+    Alcotest.(check string) "dataset resolved" "D1" d.Uxsm_workload.Dataset.id
+  | _ -> Alcotest.fail "expected Register from dataset");
+  (* Pure/barrier classification drives batching. *)
+  Alcotest.(check bool) "query is pure" true
+    (Protocol.is_pure (parse_ok {|{"op":"stats"}|}).Protocol.req);
+  Alcotest.(check bool) "register is a barrier" false
+    (Protocol.is_pure (parse_ok {|{"op":"register","name":"x","dataset":"D1"}|}).Protocol.req);
+  Alcotest.(check bool) "shutdown is a barrier" false
+    (Protocol.is_pure (parse_ok {|{"op":"shutdown"}|}).Protocol.req)
+
+let test_protocol_errors () =
+  Alcotest.(check bool) "names missing field" true
+    (contains ~needle:{|"corpus"|} (parse_err {|{"op":"match"}|}));
+  Alcotest.(check bool) "names unknown op" true
+    (contains ~needle:"unknown op" (parse_err {|{"op":"frobnicate"}|}));
+  Alcotest.(check bool) "rejects non-objects" true
+    (contains ~needle:"not a JSON object" (parse_err {|[1,2]|}));
+  Alcotest.(check bool) "rejects bad JSON" true
+    (contains ~needle:"malformed JSON" (parse_err "{"));
+  Alcotest.(check bool) "rejects bad tau" true
+    (contains ~needle:"tau" (parse_err {|{"op":"query","corpus":"c","query":"a","tau":1.5}|}));
+  Alcotest.(check bool) "rejects unknown dataset" true
+    (contains ~needle:"unknown dataset"
+       (parse_err {|{"op":"register","name":"x","dataset":"D99"}|}));
+  Alcotest.(check bool) "rejects missing k" true
+    (contains ~needle:{|"k"|} (parse_err {|{"op":"query_topk","corpus":"c","query":"a"}|}))
+
+let test_protocol_round_trip () =
+  List.iter
+    (fun line ->
+      let env = parse_ok line in
+      let env' =
+        match Protocol.parse (Protocol.to_json env) with
+        | Ok e -> e
+        | Error e -> Alcotest.failf "re-parse failed: %s" e.Protocol.message
+      in
+      Alcotest.(check string) "op survives" (Protocol.op_name env.Protocol.req)
+        (Protocol.op_name env'.Protocol.req);
+      Alcotest.(check bool) "id survives" true (env.Protocol.id = env'.Protocol.id))
+    [
+      {|{"op":"ping"}|};
+      {|{"op":"register","name":"x","dataset":"D2","seed":3,"doc_nodes":50,"id":"r1"}|};
+      {|{"op":"match","corpus":"x"}|};
+      {|{"op":"mappings","corpus":"x","h":12}|};
+      {|{"op":"query","corpus":"x","query":"a//b","h":5,"tau":0.3,"id":[1,2]}|};
+      {|{"op":"query_topk","corpus":"x","query":"a","k":2}|};
+      {|{"op":"explain","corpus":"x","query":"a/b"}|};
+      {|{"op":"save","corpus":"x","h":9}|};
+      {|{"op":"stats"}|};
+      {|{"op":"shutdown","id":null}|};
+    ]
+
+(* ------------------------- dispatch helpers ----------------------- *)
+
+(* A small corpus registered from serialized mapping-set text: the paper's
+   Figure 3 running example, which exercises the Serialize path of
+   register. *)
+let fig3_text = Serialize.mapping_set_to_string Fixtures.fig3_mset
+
+let register_line name =
+  Printf.sprintf {|{"op":"register","name":%s,"mapping_set":%s}|}
+    (Json.to_string (Json.String name))
+    (Json.to_string (Json.String fig3_text))
+
+let response_of_line srv line =
+  match Json.of_string (Server.handle_line srv line) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "response is not JSON: %s" e
+
+let assert_ok what j =
+  match Json.member "ok" j with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.failf "%s: expected ok response, got %s" what (Json.to_string j)
+
+let assert_error what j =
+  match (Json.member "ok" j, Json.member "error" j) with
+  | Some (Json.Bool false), Some (Json.String _) -> ()
+  | _ -> Alcotest.failf "%s: expected error response, got %s" what (Json.to_string j)
+
+let int_member name j =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some v -> v
+  | None -> Alcotest.failf "missing int field %S in %s" name (Json.to_string j)
+
+let counter_value stats_resp name =
+  match Option.bind (Json.member "counters" stats_resp) (Json.member name) with
+  | Some (Json.Int v) -> v
+  | _ -> 0
+
+let test_dispatch_basic () =
+  let srv = Server.create ~cache_entries:16 () in
+  assert_ok "register" (response_of_line srv (register_line "fig3"));
+  let ping = response_of_line srv {|{"op":"ping","id":"p1"}|} in
+  assert_ok "ping" ping;
+  Alcotest.(check bool) "ping echoes id" true (Json.member "id" ping = Some (Json.String "p1"));
+  let m = response_of_line srv {|{"op":"match","corpus":"fig3"}|} in
+  assert_ok "match" m;
+  Alcotest.(check int) "fig1 capacity" 10 (int_member "capacity" m);
+  let maps = response_of_line srv {|{"op":"mappings","corpus":"fig3","h":5}|} in
+  assert_ok "mappings" maps;
+  Alcotest.(check int) "five mappings" 5 (int_member "count" maps);
+  let ex = response_of_line srv {|{"op":"explain","corpus":"fig3","query":"ORDER//ICN","h":5}|} in
+  assert_ok "explain" ex;
+  Alcotest.(check bool) "explain reports relevant mappings" true
+    (int_member "relevant_mappings" ex > 0);
+  (* save returns text the Serialize module can load back. *)
+  let save = response_of_line srv {|{"op":"save","corpus":"fig3","h":5}|} in
+  assert_ok "save" save;
+  (match Option.bind (Json.member "text" save) Json.to_string_opt with
+  | None -> Alcotest.fail "save carries no text"
+  | Some text -> (
+    match Serialize.mapping_set_of_string text with
+    | Error e -> Alcotest.failf "saved text does not load: %s" e
+    | Ok mset -> Alcotest.(check int) "saved set size" 5 (Mapping_set.size mset)))
+
+let test_dispatch_errors_never_crash () =
+  let srv = Server.create () in
+  assert_error "garbage" (response_of_line srv "this is not json");
+  assert_error "non-object" (response_of_line srv "[1,2,3]");
+  assert_error "unknown op" (response_of_line srv {|{"op":"nope"}|});
+  assert_error "unknown corpus" (response_of_line srv {|{"op":"match","corpus":"ghost"}|});
+  assert_error "bad register text"
+    (response_of_line srv {|{"op":"register","name":"x","mapping_set":"garbage"}|});
+  (* A failed registration must not create the corpus. *)
+  assert_error "corpus not half-created" (response_of_line srv {|{"op":"match","corpus":"x"}|});
+  assert_ok "register still works" (response_of_line srv (register_line "x"));
+  assert_error "bad query pattern"
+    (response_of_line srv {|{"op":"query","corpus":"x","query":"[[["}|});
+  let id_err = response_of_line srv {|{"op":"match","id":42}|} in
+  assert_error "missing corpus" id_err;
+  Alcotest.(check bool) "error echoes id" true (Json.member "id" id_err = Some (Json.Int 42))
+
+(* -------------------- end-to-end amortization --------------------- *)
+
+let test_query_amortization () =
+  Obs.reset ();
+  let srv = Server.create ~cache_entries:16 () in
+  assert_ok "register" (response_of_line srv (register_line "fig3"));
+  let q = {|{"op":"query","corpus":"fig3","query":"ORDER//ICN","h":5,"tau":0.3}|} in
+  let r1 = Server.handle_line srv q in
+  let stats1 = response_of_line srv {|{"op":"stats"}|} in
+  let r2 = Server.handle_line srv q in
+  let stats2 = response_of_line srv {|{"op":"stats"}|} in
+  assert_ok "first query" (Option.get (Result.to_option (Json.of_string r1)));
+  (* Identical requests produce byte-identical answers... *)
+  Alcotest.(check string) "identical responses" r1 r2;
+  let relevant = int_member "relevant" (response_of_line srv q) in
+  Alcotest.(check bool) "query matched some mappings" true (relevant > 0);
+  (* ...and the second one is served from the prepared-artifact cache:
+     the block tree was built exactly once. *)
+  Alcotest.(check int) "one block-tree build after first query" 1
+    (counter_value stats1 "blocktree.builds");
+  Alcotest.(check int) "still one build after second query" 1
+    (counter_value stats2 "blocktree.builds");
+  Alcotest.(check bool) "second query hit the cache" true
+    (counter_value stats2 "server.cache.hits" > counter_value stats1 "server.cache.hits");
+  (* The cache view in stats agrees. *)
+  (match Json.member "cache" stats2 with
+  | Some cache ->
+    Alcotest.(check bool) "cache hits visible" true (int_member "hits" cache > 0);
+    Alcotest.(check bool) "tree artifact cached" true
+      (match Option.bind (Json.member "keys" cache) Json.to_list with
+      | Some keys ->
+        List.exists
+          (function Json.String s -> contains ~needle:"tree/fig3" s | _ -> false)
+          keys
+      | None -> false)
+  | None -> Alcotest.fail "stats carries no cache section")
+
+let test_cache_eviction_rebuilds () =
+  (* A capacity-2 cache cannot hold matching + doc + mset + tree at once,
+     so artifacts are rebuilt after eviction — answers stay identical,
+     only the work repeats. *)
+  Obs.reset ();
+  let srv = Server.create ~cache_entries:2 () in
+  assert_ok "register" (response_of_line srv (register_line "fig3"));
+  let q = {|{"op":"query","corpus":"fig3","query":"ORDER//ICN","h":5}|} in
+  let r1 = Server.handle_line srv q in
+  let r2 = Server.handle_line srv q in
+  Alcotest.(check string) "answers survive eviction" r1 r2;
+  let stats = response_of_line srv {|{"op":"stats"}|} in
+  (match Json.member "cache" stats with
+  | Some cache ->
+    Alcotest.(check int) "population bounded" 2 (int_member "entries" cache);
+    Alcotest.(check bool) "evictions happened" true (int_member "evictions" cache > 0)
+  | None -> Alcotest.fail "stats carries no cache section");
+  Alcotest.(check bool) "tree rebuilt after eviction" true
+    (counter_value stats "blocktree.builds" >= 2)
+
+(* --------------------------- batching ----------------------------- *)
+
+let test_handle_lines_batching () =
+  let lines srv =
+    [
+      register_line "fig3";
+      {|{"op":"ping","id":1}|};
+      {|{"op":"query","corpus":"fig3","query":"ORDER//ICN","h":5,"id":2}|};
+      {|{"op":"mappings","corpus":"fig3","h":5,"id":3}|};
+      "not json";
+      {|{"op":"query_topk","corpus":"fig3","query":"ORDER//ICN","h":5,"k":2,"id":4}|};
+      {|{"op":"stats","id":5}|};
+    ]
+    |> Server.handle_lines srv
+  in
+  let seq = lines (Server.create ~cache_entries:16 ()) in
+  Alcotest.(check int) "one response per line" 7 (List.length seq);
+  (* The same batch through a domain pool: responses arrive in request
+     order with identical payloads (stats differs: it reads live global
+     counters, which other suites and the pool itself perturb). *)
+  let par = lines (Server.create ~cache_entries:16 ~exec:(Executor.domains 3) ()) in
+  List.iteri
+    (fun i (a, b) ->
+      if i <> 6 then Alcotest.(check string) (Printf.sprintf "line %d identical" i) a b)
+    (List.combine seq par);
+  (* Shutdown inside a batch still answers everything (drain). *)
+  let srv = Server.create () in
+  let resps = Server.handle_lines srv [ {|{"op":"shutdown"}|}; {|{"op":"ping"}|} ] in
+  Alcotest.(check int) "drained batch" 2 (List.length resps);
+  Alcotest.(check bool) "server stopping" true (Server.stopping srv)
+
+(* ------------------------- stdio transport ------------------------ *)
+
+let test_serve_channels () =
+  let script =
+    String.concat "\n"
+      [ register_line "fig3"; {|{"op":"ping"}|}; {|{"op":"query","corpus":"fig3","query":"ORDER//ICN","h":5}|}; {|{"op":"shutdown"}|}; {|{"op":"ping"}|} ]
+    ^ "\n"
+  in
+  let in_path = Filename.temp_file "uxsm_srv" ".in" in
+  let out_path = Filename.temp_file "uxsm_srv" ".out" in
+  let oc = open_out in_path in
+  output_string oc script;
+  close_out oc;
+  let ic = open_in in_path and oc = open_out out_path in
+  let srv = Server.create () in
+  Server.serve_channels srv ic oc;
+  close_in ic;
+  close_out oc;
+  let ic = open_in out_path in
+  let rec slurp acc =
+    match input_line ic with
+    | l -> slurp (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let replies = slurp [] in
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  (* The ping after shutdown is not served: the transport drained and
+     stopped. *)
+  Alcotest.(check int) "four replies" 4 (List.length replies);
+  List.iter
+    (fun r ->
+      match Json.of_string r with
+      | Ok j -> assert_ok "scripted reply" j
+      | Error e -> Alcotest.failf "bad reply %s: %s" r e)
+    replies;
+  Alcotest.(check bool) "stopped" true (Server.stopping srv)
+
+let suite =
+  [
+    Alcotest.test_case "LRU capacity bounds" `Quick test_lru_capacity_bounds;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "LRU hit/miss counters" `Quick test_lru_counters;
+    Alcotest.test_case "protocol parsing" `Quick test_protocol_parse;
+    Alcotest.test_case "protocol errors name fields" `Quick test_protocol_errors;
+    Alcotest.test_case "protocol round-trip" `Quick test_protocol_round_trip;
+    Alcotest.test_case "dispatch endpoints" `Quick test_dispatch_basic;
+    Alcotest.test_case "malformed input never crashes" `Quick test_dispatch_errors_never_crash;
+    Alcotest.test_case "identical queries amortize (e2e)" `Quick test_query_amortization;
+    Alcotest.test_case "eviction rebuilds, answers unchanged" `Quick test_cache_eviction_rebuilds;
+    Alcotest.test_case "pipelined batches across backends" `Quick test_handle_lines_batching;
+    Alcotest.test_case "stdio transport drains on shutdown" `Quick test_serve_channels;
+  ]
