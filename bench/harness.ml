@@ -9,6 +9,7 @@ module Obs = Uxsm_obs.Obs
 module Bench_json = Uxsm_obs.Bench_json
 module Json = Uxsm_util.Json
 
+(* lint: allow domain-unsafe — bench driver state, set once from Arg before any fan-out *)
 let default_quota = ref 0.3
 
 (* JSON recording. [start_recording] arms it; each [section] then closes the
@@ -24,8 +25,13 @@ type partial = {
   mutable p_measurements : Bench_json.measurement list;  (* reversed *)
 }
 
+(* lint: allow domain-unsafe — recording state, only touched by the single driver domain *)
 let out_path = ref None
+
+(* lint: allow domain-unsafe — recording state, only touched by the single driver domain *)
 let completed : Bench_json.experiment list ref = ref []
+
+(* lint: allow domain-unsafe — recording state, only touched by the single driver domain *)
 let current : partial option ref = ref None
 
 let start_recording path = out_path := Some path

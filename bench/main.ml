@@ -21,6 +21,7 @@ module Executor = Uxsm_exec.Executor
 
 (* Execution backend for the parallelized sites (PTQ contexts, partitioned
    ranking), set once from --jobs before any experiment runs. *)
+(* lint: allow domain-unsafe — set once from --jobs before any experiment runs *)
 let exec = ref Executor.sequential
 
 let float_list xs = Json.List (List.map (fun x -> Json.Float x) xs)
@@ -30,6 +31,7 @@ let params ?(tau = 0.2) ?(max_b = 500) ?(max_f = 500) () = { Block_tree.tau; max
 
 (* Shared, lazily-built state: D7's mapping sets, document and contexts. *)
 
+(* lint: allow domain-unsafe — filled by the single driver domain between experiments *)
 let d7_mset_cache : (int, Mapping_set.t) Hashtbl.t = Hashtbl.create 8
 
 let d7_mset h =

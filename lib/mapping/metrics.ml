@@ -64,7 +64,7 @@ let consensus mset =
       Hashtbl.fold
         (fun x p best ->
           match best with
-          | Some (_, bp) when bp >= p -> best
+          | Some (bx, bp) when bp > p || (Float.equal bp p && bx < x) -> best
           | _ -> Some (x, p))
         support None
       |> Option.map (fun (x, p) -> (y, x, p)))

@@ -139,6 +139,7 @@ let synonyms ?(extra = []) () =
       union a b)
     pairs;
   let members : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  (* lint: allow nondet-iter — synonym classes are consumed by membership tests only, so member order never escapes *)
   Hashtbl.iter
     (fun w _ ->
       let r = find w in
@@ -146,6 +147,7 @@ let synonyms ?(extra = []) () =
       Hashtbl.replace members r (w :: prev))
     class_of;
   let tbl : synonyms = Hashtbl.create 64 in
+  (* lint: allow nondet-iter — each class writes a disjoint key set; order is irrelevant *)
   Hashtbl.iter
     (fun _ ws -> List.iter (fun w -> Hashtbl.replace tbl w (List.filter (fun x -> x <> w) ws)) ws)
     members;

@@ -180,4 +180,4 @@ let git_rev () =
     match (Unix.close_process_in ic, rev) with
     | Unix.WEXITED 0, rev when rev <> "" -> rev
     | _ -> "unknown"
-  with _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"

@@ -25,7 +25,11 @@ type span = {
 }
 
 let registry_mutex = Mutex.create ()
+
+(* lint: allow domain-unsafe — registry tables are only touched under registry_mutex *)
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+(* lint: allow domain-unsafe — registry tables are only touched under registry_mutex *)
 let spans_tbl : (string, span) Hashtbl.t = Hashtbl.create 16
 
 let with_registry f =
@@ -99,8 +103,10 @@ let span_seconds s = Atomic.get s.s_seconds
 
 let reset () =
   with_registry @@ fun () ->
+  (* lint: allow nondet-iter — zeroing every counter is order-independent *)
   Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters_tbl;
   let t = now () in
+  (* lint: allow nondet-iter — resetting each span touches only that span *)
   Hashtbl.iter
     (fun _ s ->
       Atomic.set s.s_count 0;

@@ -33,7 +33,13 @@ let build per_mapping =
     per_mapping;
   let distribution =
     Hashtbl.fold (fun v p acc -> (v, p) :: acc) tbl []
-    |> List.sort (fun (_, p1) (_, p2) -> Float.compare p2 p1)
+    |> List.sort (fun (v1, p1) (v2, p2) ->
+           (* Values are unique table keys; breaking probability ties on
+              them keeps the distribution order independent of hash
+              traversal. *)
+           match Float.compare p2 p1 with
+           | 0 -> Float.compare v1 v2
+           | c -> c)
   in
   let defined_mass = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 distribution in
   let expected =

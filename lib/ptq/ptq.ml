@@ -402,7 +402,13 @@ let consolidate answers =
       Hashtbl.replace tbl a.bindings (prev +. a.probability))
     answers;
   Hashtbl.fold (fun b p acc -> (b, p) :: acc) tbl []
-  |> List.sort (fun (_, p1) (_, p2) -> Float.compare p2 p1)
+  |> List.sort (fun (b1, p1) (b2, p2) ->
+         (* The probability sort alone is not total: equal-probability
+            groups would surface in hash-traversal order. Binding lists are
+            unique table keys, so comparing them makes the order stable. *)
+         match Float.compare p2 p1 with
+         | 0 -> List.compare Binding.compare b1 b2
+         | c -> c)
 
 (* EXPLAIN as counter deltas: the query bumps the shared Obs counters; the
    executor joins its workers before returning, so before/after differences

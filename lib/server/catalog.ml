@@ -194,7 +194,8 @@ let register t ~name ~doc_seed ?doc_nodes spec =
 let corpora t =
   with_lock t (fun () ->
       Hashtbl.fold (fun name e acc -> (name, spec_description e.spec) :: acc) t.corpora []
-      |> List.sort compare)
+      (* Corpus names are unique table keys, so this key alone is total. *)
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 let matching t name = wrap (fun () -> with_lock t (fun () -> matching_locked t name))
 let doc t name = wrap (fun () -> with_lock t (fun () -> doc_locked t name))

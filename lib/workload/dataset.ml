@@ -30,12 +30,22 @@ let d7 =
   | Some d -> d
   | None -> assert false
 
+(* The memo tables are process-global so concurrent callers (the server
+   dispatches batches of pure requests across domains) must serialize
+   around them. Each table gets its own lock; [mapping_set] calls
+   [matching] while holding only its own, so the locks never nest on the
+   same mutex. Holding the lock across the miss path means a concurrent
+   request for the same dataset waits instead of duplicating the work. *)
+let matching_mutex = Mutex.create ()
+
+(* lint: allow domain-unsafe — guarded by matching_mutex *)
 let matching_cache : (string * int, Uxsm_mapping.Matching.t) Hashtbl.t = Hashtbl.create 16
 
 (* [exec] is deliberately absent from the cache keys below: every backend
    produces bit-identical results (see Uxsm_exec.Executor), so a hit cached
    under one backend is a valid answer under any other. *)
 let matching ?(seed = 42) ?(exec = Uxsm_exec.Executor.sequential) d =
+  Mutex.protect matching_mutex @@ fun () ->
   match Hashtbl.find_opt matching_cache (d.id, seed) with
   | Some m -> m
   | None ->
@@ -47,12 +57,16 @@ let matching ?(seed = 42) ?(exec = Uxsm_exec.Executor.sequential) d =
     Hashtbl.add matching_cache (d.id, seed) m;
     m
 
+let mset_mutex = Mutex.create ()
+
+(* lint: allow domain-unsafe — guarded by mset_mutex *)
 let mset_cache : (string * int * int * bool, Uxsm_mapping.Mapping_set.t) Hashtbl.t =
   Hashtbl.create 16
 
 let mapping_set ?(seed = 42) ?(method_ = Uxsm_mapping.Mapping_set.Partitioned)
     ?(exec = Uxsm_exec.Executor.sequential) ~h d =
   let key = (d.id, seed, h, method_ = Uxsm_mapping.Mapping_set.Partitioned) in
+  Mutex.protect mset_mutex @@ fun () ->
   match Hashtbl.find_opt mset_cache key with
   | Some s -> s
   | None ->

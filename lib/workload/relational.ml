@@ -1,6 +1,7 @@
 module Schema = Uxsm_schema.Schema
 module Prng = Uxsm_util.Prng
 
+(* lint: allow domain-unsafe — constant lookup table, never written *)
 let table_concepts =
   [|
     ([ "order" ], [ [ "order"; "id" ]; [ "order"; "date" ]; [ "buyer"; "id" ]; [ "total"; "amount" ]; [ "currency" ]; [ "status" ] ]);

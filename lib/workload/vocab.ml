@@ -49,6 +49,7 @@ let pick_synonym ~variant token =
   let alts = synonym_alternatives token in
   List.nth alts (variant mod List.length alts)
 
+(* lint: allow domain-unsafe — constant lookup table, never written *)
 let filler_pool =
   [|
     "attachment"; "remark"; "note"; "reference"; "transport"; "routing"; "terms"; "allowance";
@@ -76,17 +77,22 @@ let filler_tokens ?(slice = 0) prng =
   let n = 2 + Uxsm_util.Prng.int prng 2 in
   List.init n (fun _ -> pick ())
 
+(* lint: allow domain-unsafe — constant lookup table, never written *)
 let city_names =
   [| "HongKong"; "London"; "Berlin"; "Paris"; "Tokyo"; "Boston"; "Seattle"; "Milan"; "Oslo"; "Delhi" |]
 
+(* lint: allow domain-unsafe — constant lookup table, never written *)
 let person_names =
   [| "Cathy"; "Bob"; "Alice"; "David"; "Erin"; "Frank"; "Grace"; "Henry"; "Ivy"; "Jack" |]
 
+(* lint: allow domain-unsafe — constant lookup table, never written *)
 let street_names =
   [| "Pokfulam Road"; "Main Street"; "High Street"; "Elm Avenue"; "Oak Lane"; "Bay Road" |]
 
+(* lint: allow domain-unsafe — constant lookup table, never written *)
 let country_names = [| "China"; "UK"; "Germany"; "France"; "Japan"; "USA"; "Italy"; "Norway" |]
 
+(* lint: allow domain-unsafe — constant lookup table, never written *)
 let words =
   [|
     "standard"; "express"; "fragile"; "bulk"; "priority"; "economy"; "sample"; "repeat";

@@ -25,6 +25,7 @@ let of_probs doc probs =
   Array.iter
     (fun p -> if p < 0.0 || p > 1.0 then invalid_arg "Prob_doc.of_probs: probability out of range")
     probs;
+  (* lint: allow float-eq — the root must carry exactly 1.0; no tolerance is intended *)
   if probs.(Doc.root doc) <> 1.0 then invalid_arg "Prob_doc.of_probs: root must have probability 1";
   { doc; cond = Array.copy probs; marginal = compute_marginals doc probs }
 

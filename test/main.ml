@@ -14,6 +14,7 @@ let () =
       ("ptq", Test_ptq.suite);
       ("workload", Test_workload.suite);
       ("server", Test_server.suite);
+      ("lint", Test_lint.suite);
       ("extensions", Test_extensions.suite);
       ("robustness", Test_robustness.suite);
       ("edge", Test_edge.suite);

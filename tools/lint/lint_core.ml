@@ -1,0 +1,542 @@
+module Json = Uxsm_util.Json
+
+type severity = Error | Warning
+type scope = Lib | Bin | Bench | Other
+
+let scope_of_path p =
+  if String.starts_with ~prefix:"lib/" p then Lib
+  else if String.starts_with ~prefix:"bin/" p then Bin
+  else if String.starts_with ~prefix:"bench/" p then Bench
+  else Other
+
+type context = {
+  file : string;
+  scope : scope;
+  executor_reachable : bool;
+}
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  severity : severity;
+  message : string;
+  suppressed : string option;
+  baselined : bool;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+(* R1/R2 structural rules are errors where the invariants are load-bearing
+   (library code runs under executor workers) and warnings in driver
+   executables, whose top-level Arg state never crosses a domain. *)
+let r12_severity scope = match scope with Lib -> Error | Bin | Bench | Other -> Warning
+
+(* ------------------------------------------------------------------ *)
+(* Annotations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type annotation = { a_line : int; a_rule : string; a_reason : string }
+
+let is_rule_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Bytes accepted as the rule/reason separator: '-' and ':' cover the
+   ASCII spellings, and the three bytes of the UTF-8 em dash cover the
+   grammar's canonical form. *)
+let is_sep_byte c = c = '-' || c = ':' || c = '\xe2' || c = '\x80' || c = '\x94'
+
+let parse_annotation_line ~lineno line =
+  match find_substring line "lint: allow" with
+  | None -> None
+  | Some i ->
+    let rest = String.sub line (i + 11) (String.length line - i - 11) in
+    let rest = String.trim rest in
+    let n = String.length rest in
+    let j = ref 0 in
+    while !j < n && is_rule_char rest.[!j] do incr j done;
+    let rule = String.sub rest 0 !j in
+    let after = String.sub rest !j (n - !j) in
+    let after = String.trim after in
+    let m = String.length after in
+    let k = ref 0 in
+    while !k < m && is_sep_byte after.[!k] do incr k done;
+    let had_sep = !k > 0 in
+    let reason = String.trim (String.sub after !k (m - !k)) in
+    let reason =
+      match find_substring reason "*)" with
+      | Some p -> String.trim (String.sub reason 0 p)
+      | None -> reason
+    in
+    if rule = "" || not had_sep || reason = "" then Some (Result.Error lineno)
+    else Some (Ok { a_line = lineno; a_rule = rule; a_reason = reason })
+
+let annotations_of_source src =
+  let lines = String.split_on_char '\n' src in
+  let anns = ref [] and bad = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_annotation_line ~lineno:(i + 1) line with
+      | None -> ()
+      | Some (Ok a) -> anns := a :: !anns
+      | Some (Result.Error l) -> bad := l :: !bad)
+    lines;
+  (List.rev !anns, List.rev !bad)
+
+let suppression anns ~rule ~line =
+  List.find_map
+    (fun a ->
+      if String.equal a.a_rule rule && (a.a_line = line || a.a_line = line - 1) then
+        Some a.a_reason
+      else None)
+    anns
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Parsetree
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten_lid p @ [ s ]
+  | Longident.Lapply (a, b) -> flatten_lid a @ flatten_lid b
+
+let path_of lid =
+  match flatten_lid lid with "Stdlib" :: rest -> rest | p -> p
+
+let ident_path e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (path_of txt) | _ -> None
+
+let line_col (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let ends_with2 path a b =
+  match List.rev path with
+  | y :: x :: _ -> String.equal x a && String.equal y b
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* R1: top-level mutable state                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Field names declared [mutable] anywhere in the file; a top-level record
+   literal assigning one of them is shared mutable state. *)
+let mutable_fields_of_structure str =
+  let fields = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun self td ->
+          (match td.ptype_kind with
+          | Ptype_record labels ->
+            List.iter
+              (fun l -> if l.pld_mutable = Mutable then fields := l.pld_name.txt :: !fields)
+              labels
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration self td);
+    }
+  in
+  it.structure it str;
+  !fields
+
+(* Classify a top-level binding's right-hand side. Returns a description
+   and a severity override ([None] means the scope default applies). *)
+let rec mutable_creator mutable_fields e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> mutable_creator mutable_fields e
+  | Pexp_apply (f, _) -> (
+    match ident_path f with
+    | Some [ "ref" ] -> Some ("ref cell", None)
+    | Some p when ends_with2 p "Hashtbl" "create" || ends_with2 p "Hashtbl" "of_seq"
+                  || ends_with2 p "Hashtbl" "copy" ->
+      Some ("Hashtbl", None)
+    | Some p when ends_with2 p "Buffer" "create" -> Some ("Buffer", None)
+    | Some p when ends_with2 p "Queue" "create" || ends_with2 p "Stack" "create" ->
+      Some ("Queue/Stack", None)
+    | Some p
+      when ends_with2 p "Array" "make" || ends_with2 p "Array" "init"
+           || ends_with2 p "Array" "create_float" || ends_with2 p "Array" "of_list"
+           || ends_with2 p "Array" "copy" || ends_with2 p "Array" "make_matrix" ->
+      (* Arrays are often de-facto read-only lookup tables, so this stays a
+         warning even in lib/. *)
+      Some ("array", Some Warning)
+    | Some p when ends_with2 p "Bytes" "create" || ends_with2 p "Bytes" "make" ->
+      Some ("Bytes", None)
+    | _ -> None)
+  | Pexp_array _ -> Some ("array literal", Some Warning)
+  | Pexp_record (fields, _) ->
+    if
+      List.exists
+        (fun ({ Location.txt; _ }, _) ->
+          match List.rev (flatten_lid txt) with
+          | name :: _ -> List.mem name mutable_fields
+          | [] -> false)
+        fields
+    then Some ("record with mutable fields", None)
+    else None
+  | _ -> None
+
+let binding_name pat =
+  match pat.ppat_desc with Ppat_var { txt; _ } -> txt | _ -> "_"
+
+let r1_findings (ctx : context) mutable_fields str =
+  if not ctx.executor_reachable then []
+  else begin
+    let acc = ref [] in
+    let emit loc name what sev_override =
+      let line, col = line_col loc in
+      let severity = match sev_override with Some s -> s | None -> r12_severity ctx.scope in
+      acc :=
+        {
+          rule = "domain-unsafe";
+          file = ctx.file;
+          line;
+          col;
+          severity;
+          message =
+            Printf.sprintf
+              "top-level mutable state: `%s` is a %s in an executor-reachable module; \
+               use Atomic/Domain.DLS, guard it and annotate, or create it per call"
+              name what;
+          suppressed = None;
+          baselined = false;
+        }
+        :: !acc
+    in
+    let rec scan_structure s = List.iter scan_item s
+    and scan_item item =
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match mutable_creator mutable_fields vb.pvb_expr with
+            | Some (what, sev) -> emit vb.pvb_loc (binding_name vb.pvb_pat) what sev
+            | None -> ())
+          vbs
+      | Pstr_module mb -> scan_module_expr mb.pmb_expr
+      | Pstr_recmodule mbs -> List.iter (fun mb -> scan_module_expr mb.pmb_expr) mbs
+      | Pstr_include i -> scan_module_expr i.pincl_mod
+      | _ -> ()
+    and scan_module_expr me =
+      match me.pmod_desc with
+      | Pmod_structure s -> scan_structure s
+      | Pmod_constraint (me, _) -> scan_module_expr me
+      (* Functor bodies create their state per application — not global. *)
+      | _ -> ()
+    in
+    scan_structure str;
+    !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Expression rules (R1 Random, R2, R3)                               *)
+(* ------------------------------------------------------------------ *)
+
+let sort_functions = [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
+
+let is_sort_head e =
+  let head =
+    match e.pexp_desc with
+    | Pexp_apply (f, _) -> ident_path f
+    | Pexp_ident _ -> ident_path e
+    | _ -> None
+  in
+  match head with
+  | Some p -> List.exists (fun s -> ends_with2 p "List" s) sort_functions
+  | None -> false
+
+let is_list_or_array_init e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident ("[]" | "::"); _ }, _) -> true
+  | Pexp_array _ -> true
+  | _ -> false
+
+(* [fold_expr] is sanitized when its immediate parent hands the result to a
+   sort: [… |> List.sort cmp], [List.sort cmp @@ …] or
+   [List.sort cmp (Hashtbl.fold …)]. *)
+let sorted_immediately parents fold_expr =
+  match parents with
+  | { pexp_desc = Pexp_apply (f, args); _ } :: _ -> (
+    let arg_exprs = List.map snd args in
+    match ident_path f with
+    | Some [ "|>" ] -> (
+      match arg_exprs with
+      | [ lhs; rhs ] -> lhs == fold_expr && is_sort_head rhs
+      | _ -> false)
+    | Some [ "@@" ] -> (
+      match arg_exprs with
+      | [ lhs; rhs ] -> rhs == fold_expr && is_sort_head lhs
+      | _ -> false)
+    | Some p when List.exists (fun s -> ends_with2 p "List" s) sort_functions ->
+      List.memq fold_expr arg_exprs
+    | _ -> false)
+  | _ -> false
+
+let is_float_literal e =
+  match e.pexp_desc with Pexp_constant (Pconst_float _) -> true | _ -> false
+
+let rec pattern_has_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_or (a, b) -> pattern_has_catch_all a || pattern_has_catch_all b
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pattern_has_catch_all p
+  | _ -> false
+
+let stdout_printers = [ "print_string"; "print_endline"; "print_newline"; "print_char";
+                        "print_int"; "print_float"; "print_bytes" ]
+
+let expr_findings (ctx : context) str =
+  let acc = ref [] in
+  let emit ?severity loc rule message =
+    let line, col = line_col loc in
+    let severity = match severity with Some s -> s | None -> r12_severity ctx.scope in
+    acc :=
+      { rule; file = ctx.file; line; col; severity; message; suppressed = None;
+        baselined = false }
+      :: !acc
+  in
+  let parents = ref [] in
+  let check_expr e =
+    (match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+      let arg_exprs = List.map snd args in
+      match ident_path f with
+      | Some p when ends_with2 p "Hashtbl" "fold" ->
+        (match arg_exprs with
+        | [ _; _; init ] when is_list_or_array_init init ->
+          if not (sorted_immediately !parents e) then
+            emit e.pexp_loc "unsorted-fold"
+              "Hashtbl.fold builds a list in hash-traversal order; pipe it straight \
+               into List.sort with a total comparator, or annotate why order cannot \
+               matter"
+        | _ -> ())
+      | Some p when ends_with2 p "Hashtbl" "iter" ->
+        emit ~severity:Warning e.pexp_loc "nondet-iter"
+          "Hashtbl.iter visits entries in hash-traversal order; the effect must be \
+           order-independent (sort the keys first, or annotate with the reason)"
+      | Some [ ("=" | "<>" | "==" | "!=") ] ->
+        if List.exists is_float_literal arg_exprs then
+          emit ~severity:Warning e.pexp_loc "float-eq"
+            "float compared with =/<>; use Float.equal, compare against an epsilon, \
+             or annotate if exact equality is intended"
+      | _ -> ())
+    | Pexp_ident { txt; _ } -> (
+      match path_of txt with
+      | [ "Obj"; "magic" ] ->
+        emit ~severity:Error e.pexp_loc "obj-magic" "Obj.magic defeats the type system"
+      | "Random" :: next :: _ when next <> "State" && ctx.executor_reachable ->
+        emit e.pexp_loc "domain-unsafe"
+          (Printf.sprintf
+             "Random.%s uses the global PRNG state, which is shared across domains \
+              and makes runs irreproducible; thread a Random.State or Uxsm_util.Prng \
+              value instead"
+             next)
+      | [ name ] when ctx.scope = Lib && List.mem name stdout_printers ->
+        emit ~severity:Error e.pexp_loc "stdout-print"
+          (Printf.sprintf
+             "library code must not print to stdout (%s); return data or take a \
+              Format formatter from the caller"
+             name)
+      | [ "Printf"; "printf" ] | [ "Format"; "printf" ] when ctx.scope = Lib ->
+        emit ~severity:Error e.pexp_loc "stdout-print"
+          "library code must not print to stdout; use eprintf or a caller-supplied \
+           formatter"
+      | _ -> ())
+    | Pexp_try (_, cases) ->
+      List.iter
+        (fun c ->
+          if c.pc_guard = None && pattern_has_catch_all c.pc_lhs then
+            emit ~severity:Error c.pc_lhs.ppat_loc "catch-all"
+              "catch-all exception handler also swallows Sys.Break and Out_of_memory; \
+               list the exceptions this code can actually raise")
+        cases
+    | _ -> ())
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          check_expr e;
+          parents := e :: !parents;
+          Ast_iterator.default_iterator.expr self e;
+          parents := List.tl !parents);
+    }
+  in
+  it.structure it str;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_impl ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  Location.input_name := file;
+  Parse.implementation lexbuf
+
+let compare_findings a b =
+  match compare (a.file, a.line, a.col) (b.file, b.line, b.col) with
+  | 0 -> compare a.rule b.rule
+  | c -> c
+
+let analyze (ctx : context) src =
+  let anns, bad_anns = annotations_of_source src in
+  let bad =
+    List.map
+      (fun line ->
+        {
+          rule = "bad-annotation";
+          file = ctx.file;
+          line;
+          col = 0;
+          severity = Warning;
+          message =
+            "malformed lint annotation; expected `(* lint: allow <rule-id> — \
+             <reason> *)`";
+          suppressed = None;
+          baselined = false;
+        })
+      bad_anns
+  in
+  let findings =
+    match parse_impl ~file:ctx.file src with
+    | exception e ->
+      [
+        {
+          rule = "parse-error";
+          file = ctx.file;
+          line = 1;
+          col = 0;
+          severity = Error;
+          message = Printf.sprintf "cannot parse: %s" (Printexc.to_string e);
+          suppressed = None;
+          baselined = false;
+        };
+      ]
+    | str ->
+      let mutable_fields = mutable_fields_of_structure str in
+      r1_findings ctx mutable_fields str @ expr_findings ctx str
+  in
+  let findings =
+    List.map
+      (fun f -> { f with suppressed = suppression anns ~rule:f.rule ~line:f.line })
+      findings
+  in
+  List.sort compare_findings (findings @ bad)
+
+let mli_finding ~ml_file ~has_mli ~scope =
+  if scope <> Lib || has_mli then None
+  else
+    Some
+      {
+        rule = "missing-mli";
+        file = ml_file;
+        line = 1;
+        col = 0;
+        severity = Error;
+        message = "library module has no .mli; add one to pin the public surface";
+        suppressed = None;
+        baselined = false;
+      }
+
+let apply_baseline entries findings =
+  List.map
+    (fun f ->
+      if List.exists (fun (r, file, line) -> r = f.rule && file = f.file && line = f.line)
+           entries
+      then { f with baselined = true }
+      else f)
+    findings
+
+let baseline_of_json json =
+  match Json.member "findings" json with
+  | None -> Result.Error "baseline: missing \"findings\" field"
+  | Some j -> (
+    match Json.to_list j with
+    | None -> Result.Error "baseline: \"findings\" is not a list"
+    | Some items ->
+      let decode item =
+        match
+          ( Option.bind (Json.member "rule" item) Json.to_string_opt,
+            Option.bind (Json.member "file" item) Json.to_string_opt,
+            Option.bind (Json.member "line" item) Json.to_int )
+        with
+        | Some r, Some f, Some l -> Ok (r, f, l)
+        | _ -> Result.Error "baseline: entry needs string rule/file and int line"
+      in
+      List.fold_left
+        (fun acc item ->
+          match (acc, decode item) with
+          | Result.Error e, _ | _, Result.Error e -> Result.Error e
+          | Ok xs, Ok x -> Ok (x :: xs))
+        (Ok []) items
+      |> Result.map List.rev)
+
+let is_active_error f = f.severity = Error && f.suppressed = None && not f.baselined
+let is_active f = f.suppressed = None && not f.baselined
+let exit_code findings = if List.exists is_active_error findings then 1 else 0
+
+let to_json findings =
+  let finding_json f =
+    Json.Assoc
+      ([
+         ("rule", Json.String f.rule);
+         ("file", Json.String f.file);
+         ("line", Json.Int f.line);
+         ("col", Json.Int f.col);
+         ("severity", Json.String (severity_name f.severity));
+         ("message", Json.String f.message);
+       ]
+      @ (match f.suppressed with
+        | Some reason -> [ ("suppressed", Json.String reason) ]
+        | None -> [])
+      @ if f.baselined then [ ("baselined", Json.Bool true) ] else [])
+  in
+  let count p = List.length (List.filter p findings) in
+  Json.Assoc
+    [
+      ("version", Json.Int 1);
+      ("findings", Json.List (List.map finding_json findings));
+      ( "summary",
+        Json.Assoc
+          [
+            ("errors", Json.Int (count is_active_error));
+            ( "warnings",
+              Json.Int (count (fun f -> f.severity = Warning && is_active f)) );
+            ("suppressed", Json.Int (count (fun f -> f.suppressed <> None)));
+            ("baselined", Json.Int (count (fun f -> f.baselined)));
+          ] );
+    ]
+
+let pp_report fmt findings =
+  let active = List.filter is_active findings in
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "%s:%d:%d: %s [%s] %s@." f.file f.line f.col
+        (severity_name f.severity) f.rule f.message)
+    active;
+  let n_err = List.length (List.filter is_active_error findings) in
+  let n_warn = List.length (List.filter (fun f -> f.severity = Warning) active) in
+  let n_sup = List.length (List.filter (fun f -> f.suppressed <> None) findings) in
+  let n_base = List.length (List.filter (fun f -> f.baselined) findings) in
+  if active = [] then
+    Format.fprintf fmt "lint: clean (%d suppressed by annotation, %d baselined)@."
+      n_sup n_base
+  else
+    Format.fprintf fmt "lint: %d error%s, %d warning%s (%d suppressed, %d baselined)@."
+      n_err (if n_err = 1 then "" else "s")
+      n_warn (if n_warn = 1 then "" else "s")
+      n_sup n_base

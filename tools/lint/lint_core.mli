@@ -1,0 +1,102 @@
+(** Core of [uxsm-lint]: a compiler-libs static analysis over this repo's
+    sources that enforces the domain-safety and determinism invariants the
+    parallel executor (and the Domains ≡ Sequential differential suites)
+    rely on, plus a few hygiene rules.
+
+    Rules (ids are what annotations and the baseline refer to):
+
+    - R1 [domain-unsafe] — top-level mutable state ([ref], [Hashtbl.create],
+      [Buffer.create], mutable-record literals, arrays, global [Random]) in
+      a module reachable from the executor fan-out call graph. Exempt when
+      the state is created through [Atomic], [Domain.DLS] or [Mutex], or
+      when the site carries an allow annotation.
+    - R2 [unsorted-fold] — [Hashtbl.fold] that builds a list/array (its
+      accumulator seed is a list or array literal) without being
+      immediately piped into a [List.sort]-family call: the result order is
+      hash-traversal order.
+    - R2 [nondet-iter] — any [Hashtbl.iter]: entries are visited in
+      hash-traversal order, so the effect must be order-independent.
+    - R2 [float-eq] — [=] / [<>] / [==] / [!=] against a float literal.
+    - R3 [catch-all] — [try … with _ ->] (unguarded wildcard handler),
+      which swallows [Sys.Break] and [Out_of_memory].
+    - R3 [obj-magic] — any use of [Obj.magic].
+    - R3 [stdout-print] — [print_*] / [Printf.printf] / [Format.printf]
+      inside [lib/].
+    - R3 [missing-mli] — a [lib/] module without an interface file.
+    - [bad-annotation] — a [lint: allow] comment that does not parse.
+    - [parse-error] — a source file compiler-libs cannot parse.
+
+    Annotation grammar (one comment, same line as the offending site or the
+    line directly above it):
+
+    {v (* lint: allow <rule-id> — <reason> *) v}
+
+    The separator may be an em dash, ["--"], ["-"] or [":"]; the reason is
+    mandatory. An annotation suppresses matching findings on its own line
+    and the next one. *)
+
+type severity =
+  | Error  (** fails the build (non-zero exit) unless suppressed/baselined *)
+  | Warning  (** reported, never fails the build *)
+
+type scope = Lib | Bin | Bench | Other
+
+val scope_of_path : string -> scope
+(** From a root-relative path: [lib/…] is [Lib], [bin/…] is [Bin],
+    [bench/…] is [Bench], anything else [Other]. Severities depend on it:
+    R1/R2 findings are errors in [Lib] and warnings elsewhere (driver
+    executables legitimately keep CLI state in top-level refs). *)
+
+type context = {
+  file : string;  (** path findings are reported under *)
+  scope : scope;
+  executor_reachable : bool;
+      (** whether R1 applies: the module is reachable from an
+          [Uxsm_exec.Executor] fan-out closure (see {!Lint_deps}) *)
+}
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  severity : severity;
+  message : string;
+  suppressed : string option;
+      (** [Some reason] when an in-source annotation justifies the site *)
+  baselined : bool;  (** grandfathered by the checked-in baseline *)
+}
+
+val analyze : context -> string -> finding list
+(** Parse one module's source text and run every syntactic rule, returning
+    findings sorted by position with annotations already applied. A file
+    that fails to parse yields a single [parse-error] finding. *)
+
+val mli_finding : ml_file:string -> has_mli:bool -> scope:scope -> finding option
+(** The [missing-mli] rule; [None] outside [Lib] or when the interface
+    exists. *)
+
+val apply_baseline : (string * string * int) list -> finding list -> finding list
+(** Mark findings matching a [(rule, file, line)] baseline entry as
+    {!finding.baselined}. *)
+
+val baseline_of_json :
+  Uxsm_util.Json.t -> ((string * string * int) list, string) result
+(** Decode [{"findings": [{"rule": …, "file": …, "line": …}, …]}]. *)
+
+val is_active_error : finding -> bool
+(** An [Error] finding that is neither suppressed nor baselined. *)
+
+val exit_code : finding list -> int
+(** [1] when any active error remains, else [0]. *)
+
+val severity_name : severity -> string
+
+val to_json : finding list -> Uxsm_util.Json.t
+(** Machine-readable report: every finding (suppressed and baselined ones
+    flagged as such) plus a summary object. *)
+
+val pp_report : Format.formatter -> finding list -> unit
+(** Human report: one [file:line:col: severity [rule] message] line per
+    active finding, then a summary counting suppressions and baselined
+    entries. *)

@@ -1,0 +1,219 @@
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec walk_dir acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry.[0] = '_' then acc
+        else
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk_dir acc path
+          else if Filename.check_suffix entry ".ml" then path :: acc
+          else acc)
+      acc entries
+
+let ml_files ~dirs = List.sort compare (List.fold_left walk_dir [] dirs)
+
+(* Wrapper module name of the dune library living in [dir], if any:
+   [(library (name uxsm_util) …)] gives ["Uxsm_util"]. A crude token scan
+   is enough for this repo's short stanzas. *)
+let library_wrapper dir =
+  let dune = Filename.concat dir "dune" in
+  if not (Sys.file_exists dune) then None
+  else
+    let src = read_file dune in
+    let contains_at needle i =
+      i + String.length needle <= String.length src
+      && String.sub src i (String.length needle) = needle
+    in
+    let rec contains needle i =
+      contains_at needle i
+      || (i + String.length needle <= String.length src && contains needle (i + 1))
+    in
+    if not (contains "(library" 0) then None
+    else
+      let rec find_name i =
+        if i + 5 > String.length src then None
+        else if contains_at "(name" i then begin
+          let j = ref (i + 5) in
+          while
+            !j < String.length src && (src.[!j] = ' ' || src.[!j] = '\n' || src.[!j] = '\t')
+          do
+            incr j
+          done;
+          let k = ref !j in
+          while
+            !k < String.length src
+            &&
+            match src.[!k] with
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+            | _ -> false
+          do
+            incr k
+          done;
+          if !k > !j then Some (String.sub src !j (!k - !j)) else None
+        end
+        else find_name (i + 1)
+      in
+      Option.map String.capitalize_ascii (find_name 0)
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten_lid p @ [ s ]
+  | Longident.Lapply (a, b) -> flatten_lid a @ flatten_lid b
+
+(* Every module path mentioned in a structure, as string lists. *)
+let module_paths_of_structure str =
+  let open Parsetree in
+  let acc = ref [] in
+  let push lid = acc := flatten_lid lid :: !acc in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ }
+          | Pexp_construct ({ txt; _ }, _)
+          | Pexp_field (_, { txt; _ })
+          | Pexp_setfield (_, { txt; _ }, _)
+          | Pexp_new { txt; _ } ->
+            push txt
+          | Pexp_record (fields, _) ->
+            List.iter (fun ({ Location.txt; _ }, _) -> push txt) fields
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+      typ =
+        (fun self t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; _ }, _) | Ptyp_class ({ txt; _ }, _) -> push txt
+          | _ -> ());
+          Ast_iterator.default_iterator.typ self t);
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) -> push txt
+          | Ppat_record (fields, _) ->
+            List.iter (fun ({ Location.txt; _ }, _) -> push txt) fields
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+      module_expr =
+        (fun self me ->
+          (match me.pmod_desc with Pmod_ident { txt; _ } -> push txt | _ -> ());
+          Ast_iterator.default_iterator.module_expr self me);
+      module_type =
+        (fun self mt ->
+          (match mt.pmty_desc with
+          | Pmty_ident { txt; _ } | Pmty_alias { txt; _ } -> push txt
+          | _ -> ());
+          Ast_iterator.default_iterator.module_type self mt);
+    }
+  in
+  it.structure it str;
+  !acc
+
+module SS = Set.Make (String)
+
+let parse_structure ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  Location.input_name := file;
+  match Parse.implementation lexbuf with
+  | str -> Some str
+  | exception _ -> None
+
+let executor_reachable ~files =
+  let file_set = SS.of_list files in
+  (* directory -> wrapper; wrapper -> files of that library *)
+  let wrapper_of_dir = Hashtbl.create 16 in
+  let files_of_wrapper = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let dir = Filename.dirname f in
+      let w =
+        match Hashtbl.find_opt wrapper_of_dir dir with
+        | Some w -> w
+        | None ->
+          let w = library_wrapper dir in
+          Hashtbl.add wrapper_of_dir dir w;
+          w
+      in
+      match w with
+      | Some w ->
+        let prev = try Hashtbl.find files_of_wrapper w with Not_found -> [] in
+        Hashtbl.replace files_of_wrapper w (f :: prev)
+      | None -> ())
+    files;
+  let file_of_module_in_dir dir m =
+    let candidate = Filename.concat dir (String.uncapitalize_ascii m ^ ".ml") in
+    if SS.mem candidate file_set then Some candidate else None
+  in
+  let deps_of f =
+    match parse_structure ~file:f (read_file f) with
+    | None -> None (* unparseable: conservatively reachable *)
+    | Some str ->
+      let dir = Filename.dirname f in
+      let deps = ref SS.empty in
+      let resolve_segments path =
+        let rec go = function
+          | [] -> ()
+          | seg :: rest ->
+            (match Hashtbl.find_opt files_of_wrapper seg with
+            | Some lib_files -> (
+              let lib_dir = Filename.dirname (List.hd lib_files) in
+              match rest with
+              | sub :: _ when sub <> "" && sub.[0] >= 'A' && sub.[0] <= 'Z' -> (
+                match file_of_module_in_dir lib_dir sub with
+                | Some dep -> deps := SS.add dep !deps
+                | None -> List.iter (fun d -> deps := SS.add d !deps) lib_files)
+              | _ -> List.iter (fun d -> deps := SS.add d !deps) lib_files)
+            | None -> (
+              match file_of_module_in_dir dir seg with
+              | Some dep when dep <> f -> deps := SS.add dep !deps
+              | _ -> ()));
+            go rest
+        in
+        go path
+      in
+      List.iter resolve_segments (module_paths_of_structure str);
+      Some !deps
+  in
+  let dep_table = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace dep_table f (deps_of f)) files;
+  let exec_files =
+    match Hashtbl.find_opt files_of_wrapper "Uxsm_exec" with Some fs -> fs | None -> []
+  in
+  let exec_set = SS.of_list exec_files in
+  let unparseable f = Hashtbl.find_opt dep_table f = Some None in
+  let seeds =
+    List.filter
+      (fun f ->
+        SS.mem f exec_set
+        || unparseable f
+        ||
+        match Hashtbl.find dep_table f with
+        | Some deps -> not (SS.is_empty (SS.inter deps exec_set))
+        | None -> false)
+      files
+  in
+  let reachable = ref (SS.of_list seeds) in
+  let rec grow = function
+    | [] -> ()
+    | f :: rest ->
+      let next =
+        match Hashtbl.find_opt dep_table f with
+        | Some (Some deps) -> SS.elements (SS.diff deps !reachable)
+        | _ -> []
+      in
+      reachable := SS.union !reachable (SS.of_list next);
+      grow (next @ rest)
+  in
+  grow seeds;
+  fun f -> SS.mem f !reachable || unparseable f

@@ -1,0 +1,25 @@
+(** Module-level dependency scan for the R1 [domain-unsafe] rule.
+
+    The executor's fan-out closures can call anything their enclosing
+    module can, so the set of modules whose top-level mutable state can be
+    touched concurrently is the forward dependency closure of every module
+    that references [Uxsm_exec.Executor] (the seeds), plus the executor
+    library itself.
+
+    The scan is syntactic: each [.ml] file is parsed and every module path
+    occurring in it is resolved against (a) the wrapper names of the
+    repo's dune libraries — [Uxsm_util.Json] resolves to
+    [lib/util/json.ml]; a bare wrapper reference conservatively depends on
+    the whole library — and (b) sibling files of the same directory
+    ([Bipartite] inside [lib/assignment] resolves to [bipartite.ml]).
+    Aliases like [module Obs = Uxsm_obs.Obs] need no special handling:
+    the alias declaration itself contributes the edge. *)
+
+val ml_files : dirs:string list -> string list
+(** Every [*.ml] under [dirs] (recursive, skipping dot- and [_]-prefixed
+    directories), as sorted relative paths. *)
+
+val executor_reachable : files:string list -> string -> bool
+(** [executor_reachable ~files] scans [files] once and returns the
+    predicate "this file is reachable from an executor fan-out closure".
+    Files that fail to parse are conservatively treated as reachable. *)

@@ -1,0 +1,82 @@
+(* uxsm-lint: static domain-safety / determinism / hygiene analysis over
+   this repo's OCaml sources. See Lint_core for the rule catalogue and
+   DESIGN.md §11 for the workflow. *)
+
+module Lint_core = Uxsm_lint_core.Lint_core
+module Lint_deps = Uxsm_lint_core.Lint_deps
+module Json = Uxsm_util.Json
+
+let usage =
+  "uxsm_lint [--json] [--baseline FILE] [--root DIR] [DIR...]\n\
+   Analyze every .ml under the given directories (default: lib bin bench)\n\
+   and exit non-zero on unsuppressed, unbaselined errors."
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let json_out = ref false in
+  let baseline_path = ref None in
+  let root = ref "." in
+  let dirs = ref [] in
+  Arg.parse
+    [
+      ("--json", Arg.Set json_out, " emit the machine-readable report on stdout");
+      ( "--baseline",
+        Arg.String (fun s -> baseline_path := Some s),
+        "FILE grandfather the findings listed in FILE (JSON)" );
+      ("--root", Arg.Set_string root, "DIR interpret directories relative to DIR");
+    ]
+    (fun d -> dirs := d :: !dirs)
+    usage;
+  (try Sys.chdir !root
+   with Sys_error e ->
+     prerr_endline ("uxsm_lint: cannot chdir to root: " ^ e);
+     exit 2);
+  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds in
+  let files = Lint_deps.ml_files ~dirs in
+  if files = [] then begin
+    prerr_endline "uxsm_lint: no .ml files found under the given directories";
+    exit 2
+  end;
+  let reachable = Lint_deps.executor_reachable ~files in
+  let findings =
+    List.concat_map
+      (fun f ->
+        let scope = Lint_core.scope_of_path f in
+        let ctx =
+          { Lint_core.file = f; scope; executor_reachable = reachable f }
+        in
+        let mli =
+          Lint_core.mli_finding ~ml_file:f
+            ~has_mli:(Sys.file_exists (Filename.remove_extension f ^ ".mli"))
+            ~scope
+        in
+        Option.to_list mli @ Lint_core.analyze ctx (read_file f))
+      files
+  in
+  let findings =
+    match !baseline_path with
+    | None -> findings
+    | Some path -> (
+      match Json.of_string (read_file path) with
+      | exception Sys_error e ->
+        prerr_endline ("uxsm_lint: cannot read baseline: " ^ e);
+        exit 2
+      | Error e ->
+        prerr_endline ("uxsm_lint: baseline is not valid JSON: " ^ e);
+        exit 2
+      | Ok j -> (
+        match Lint_core.baseline_of_json j with
+        | Error e ->
+          prerr_endline ("uxsm_lint: " ^ e);
+          exit 2
+        | Ok entries -> Lint_core.apply_baseline entries findings))
+  in
+  if !json_out then print_endline (Json.to_string (Lint_core.to_json findings))
+  else Format.printf "%a" Lint_core.pp_report findings;
+  exit (Lint_core.exit_code findings)
