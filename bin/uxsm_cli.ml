@@ -218,8 +218,22 @@ let blocktree_cmd =
 
 (* -------------------------------- query --------------------------- *)
 
+(* Shared by query/stats: evaluator selection and plan printing. [--basic]
+   predates [--evaluator] and stays as an alias for [--evaluator basic]. *)
+let evaluator_arg =
+  let ev_conv = Arg.enum [ ("basic", `Basic); ("tree", `Tree); ("auto", `Auto) ] in
+  Arg.(value & opt ev_conv `Auto
+       & info [ "evaluator" ] ~docv:"EV"
+           ~doc:"Physical evaluator: $(b,basic) (Algorithm 3), $(b,tree) (Algorithm 4), or \
+                 $(b,auto) (cost-based choice; the default).")
+
+let plan_flag =
+  Arg.(value & flag & info [ "plan" ] ~doc:"Print the compiled query plan before the answers.")
+
+let force_of ~basic ~evaluator = if basic then `Basic else evaluator
+
 let query_cmd =
-  let run d seed h tau k basic from jobs query_str =
+  let run d seed h tau k basic evaluator show_plan from jobs query_str =
     let exec = Executor.of_jobs jobs in
     let query =
       match query_str with
@@ -235,14 +249,11 @@ let query_cmd =
     let tree = Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } mset in
     let ctx = Ptq.context ~exec ~tree ~mset ~doc () in
     let t0 = Unix.gettimeofday () in
-    let answers =
-      match (k, basic) with
-      | Some k, _ -> Ptq.query_topk ctx ~k query
-      | None, true -> Ptq.query_basic ctx query
-      | None, false -> Ptq.query_tree ctx query
-    in
+    let plan = Ptq.compile ~force:(force_of ~basic ~evaluator) ?k ctx query in
+    let answers = Ptq.execute plan in
     let dt = Unix.gettimeofday () -. t0 in
     Printf.printf "query: %s\n" (Uxsm_twig.Pattern.to_string query);
+    if show_plan then print_endline (Uxsm_plan.Plan.describe (Ptq.physical plan));
     Printf.printf "%d relevant mappings; evaluated in %.4fs\n" (List.length answers) dt;
     List.iter
       (fun (bindings, p) ->
@@ -271,12 +282,13 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a probabilistic twig query on a dataset.")
-    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ jobs_arg $ query_str)
+    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ evaluator_arg $ plan_flag
+          $ from $ jobs_arg $ query_str)
 
 (* -------------------------------- stats --------------------------- *)
 
 let stats_cmd =
-  let run d seed h tau k basic from jobs query_str =
+  let run d seed h tau k basic evaluator show_plan from jobs query_str =
     let module Obs = Uxsm_obs.Obs in
     let exec = Executor.of_jobs jobs in
     Obs.reset ();
@@ -293,13 +305,10 @@ let stats_cmd =
     let doc = Gen_doc.generate (Mapping_set.source mset) in
     let tree = Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } mset in
     let ctx = Ptq.context ~exec ~tree ~mset ~doc () in
-    let answers =
-      match (k, basic) with
-      | Some k, _ -> Ptq.query_topk ctx ~k query
-      | None, true -> Ptq.query_basic ctx query
-      | None, false -> Ptq.query_tree ctx query
-    in
+    let plan = Ptq.compile ~force:(force_of ~basic ~evaluator) ?k ctx query in
+    let answers = Ptq.execute plan in
     Printf.printf "query: %s\n" (Uxsm_twig.Pattern.to_string query);
+    if show_plan then print_endline (Uxsm_plan.Plan.describe (Ptq.physical plan));
     Printf.printf "%d relevant mappings\n\n" (List.length answers);
     Format.printf "%a@." Obs.pp_snapshot (Obs.nonzero (Obs.snapshot ()))
   in
@@ -324,7 +333,8 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Answer a query like $(b,query), then print the metrics-layer snapshot (counters and \
              spans of mapping generation, block-tree construction and PTQ evaluation).")
-    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ from $ jobs_arg $ query_str)
+    Term.(const run $ d $ seed_arg $ h_arg $ tau_arg $ k $ basic $ evaluator_arg $ plan_flag
+          $ from $ jobs_arg $ query_str)
 
 (* --------------------------------- doc ---------------------------- *)
 
@@ -435,6 +445,7 @@ let analyze_cmd =
       let ctx = Ptq.context ~tree ~mset ~doc () in
       let stats, answers = Ptq.explain ctx q in
       Printf.printf "query %s:\n" qs;
+      print_endline (Uxsm_plan.Plan.describe stats.Ptq.plan);
       Printf.printf
         "  resolutions=%d relevant=%d blocks_used=%d shared_evals=%d direct_evals=%d decompositions=%d joins=%d\n"
         stats.Ptq.resolutions stats.Ptq.relevant_mappings stats.Ptq.blocks_used

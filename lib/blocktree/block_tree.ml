@@ -208,6 +208,43 @@ let block_sizes t = List.map Block.n_corrs (all_blocks t)
 
 let compressed_corrs_of_mapping t i = t.compressed.(i)
 
+(* Cost-model statistics (consumed by Uxsm_plan): block counts and the mean
+   mapping-sharing factor f, per node and tree-wide. Both walk the already
+   materialized node lists, so they are cheap enough to recompute per query
+   compilation. *)
+
+type node_stats = {
+  ns_blocks : int;
+  ns_mean_mappings : float;
+}
+
+let node_stats t y =
+  match t.nodes.(y) with
+  | [] -> { ns_blocks = 0; ns_mean_mappings = 0.0 }
+  | bs ->
+    let n = List.length bs in
+    let total = List.fold_left (fun acc b -> acc + Block.n_mappings b) 0 bs in
+    { ns_blocks = n; ns_mean_mappings = float_of_int total /. float_of_int n }
+
+type stats = {
+  st_blocks : int;
+  st_mean_mappings : float;
+  st_threshold : int;
+  st_mappings : int;
+}
+
+let stats t =
+  let bs = all_blocks t in
+  let n = List.length bs in
+  let total = List.fold_left (fun acc (b : Block.t) -> acc + Block.n_mappings b) 0 bs in
+  {
+    st_blocks = n;
+    st_mean_mappings =
+      (if n = 0 then 0.0 else float_of_int total /. float_of_int n);
+    st_threshold = t.threshold;
+    st_mappings = Mapping_set.size t.mset;
+  }
+
 let storage_bytes t =
   let block_bytes (b : Block.t) = 16 + (8 * Block.n_corrs b) + (4 * Block.n_mappings b) in
   let blocks = List.fold_left (fun acc b -> acc + block_bytes b) 0 (all_blocks t) in

@@ -62,6 +62,28 @@ val compressed_corrs_of_mapping : t -> int -> [ `Block of Block.t | `Corr of int
     correspondences. Concatenating the block correspondences with the
     residuals reconstructs the mapping exactly (tested property). *)
 
+type node_stats = {
+  ns_blocks : int;  (** c-blocks anchored at the node *)
+  ns_mean_mappings : float;
+      (** mean mappings per c-block at the node (the local sharing factor
+          f); [0.] when the node has no blocks *)
+}
+
+val node_stats : t -> Uxsm_schema.Schema.element -> node_stats
+(** Per-node sharing statistics, the input of the query planner's cost
+    model ({!Uxsm_plan.Plan}). *)
+
+type stats = {
+  st_blocks : int;  (** total c-blocks in the tree *)
+  st_mean_mappings : float;  (** mean mappings per c-block, tree-wide *)
+  st_threshold : int;  (** [⌈τ·|M|⌉] *)
+  st_mappings : int;  (** [|M|] *)
+}
+
+val stats : t -> stats
+(** Tree-wide sharing statistics (block count, mean mapping-sharing
+    factor). *)
+
 val validate : t -> (unit, string) result
 (** Check Definition 2 for every stored block, plus hash-table consistency
     and lossless mapping compression. *)

@@ -10,6 +10,7 @@ module Block = Uxsm_blocktree.Block
 module Block_tree = Uxsm_blocktree.Block_tree
 module Obs = Uxsm_obs.Obs
 module Executor = Uxsm_exec.Executor
+module Plan = Uxsm_plan.Plan
 
 (* Observability: evaluation cost drivers, shared with the bench harness and
    the CLI [stats] subcommand. [explain] reports deltas of these counters. *)
@@ -22,6 +23,7 @@ let c_direct = Obs.counter "ptq.direct_evaluations"
 let c_decomp = Obs.counter "ptq.decompositions"
 let c_joins = Obs.counter "ptq.joins"
 let c_join_pairs = Obs.counter "ptq.join_pairs"
+let c_executions = Obs.counter "plan.executions"
 let s_basic = Obs.span "ptq.query_basic"
 let s_tree = Obs.span "ptq.query_tree"
 
@@ -171,12 +173,6 @@ let query_basic_cov ctx idx (res : Resolve.t array) cov =
       List.iter (fun (i, bindings) -> Hashtbl.replace per_mapping i bindings) evaluated;
       answers_of_table ctx per_mapping (List.map fst cov))
 
-let query_basic ctx pattern =
-  Obs.incr c_queries;
-  let idx = index_pattern pattern in
-  let res = Array.of_list (resolutions_of ctx pattern) in
-  query_basic_cov ctx idx res (coverage_of ctx res)
-
 type stats = {
   resolutions : int;
   relevant_mappings : int;
@@ -185,6 +181,7 @@ type stats = {
   direct_evaluations : int;
   decompositions : int;
   joins : int;
+  plan : Plan.t;  (* the physical plan the run executed *)
 }
 
 (* Algorithm 4: one subtree evaluation per c-block; decomposition plus
@@ -342,23 +339,28 @@ let query_tree_cov ctx idx (res : Resolve.t array) cov =
         tables;
       answers_of_table ctx per_mapping (List.map fst cov))
 
-let query_tree ctx pattern =
-  Obs.incr c_queries;
-  let idx = index_pattern pattern in
-  let res = Array.of_list (resolutions_of ctx pattern) in
-  query_tree_cov ctx idx res (coverage_of ctx res)
+(* ------------------------- plan compilation ------------------------ *)
+
+(* A compiled query: the shared resolve/coverage prefix of the logical
+   pipeline, materialized once, plus the physical plan the cost model
+   chose. [execute] replays only the evaluate/merge suffix, so a cached
+   plan (the server catalog keeps them) amortizes resolution and coverage
+   across repeated executions. *)
+type plan = {
+  p_ctx : context;
+  p_idx : indexed;
+  p_res : Resolve.t array;
+  p_cov : (int * int list) list;  (* the table handed to the evaluator *)
+  p_phys : Plan.t;
+}
 
 let take k l = List.filteri (fun i _ -> i < k) l
 
-let query_topk ctx ~k pattern =
-  if k <= 0 then invalid_arg "Ptq.query_topk: k must be positive";
-  Obs.incr c_queries;
-  let idx = index_pattern pattern in
-  let res = Array.of_list (resolutions_of ctx pattern) in
-  (* One coverage pass serves both the probability ranking and the
-     restricted evaluation; the evaluators never re-test [covers], and
-     non-selected mappings are dropped before any rewrite work. *)
-  let cov = coverage_of ctx res in
+(* Top-k pruning over the coverage table (Definition 5): keep the k most
+   probable relevant mappings, preserving the table's mapping-id order.
+   The evaluators never re-test [covers], and non-selected mappings are
+   dropped before any rewrite work. *)
+let prune_topk ctx ~k cov =
   let by_prob =
     List.sort
       (fun (i, _) (j, _) ->
@@ -368,15 +370,45 @@ let query_topk ctx ~k pattern =
   let keep = take k by_prob in
   let keep_set = Hashtbl.create k in
   List.iter (fun (i, _) -> Hashtbl.replace keep_set i ()) keep;
-  let cov_keep = List.filter (fun (i, _) -> Hashtbl.mem keep_set i) cov in
-  match ctx.tree with
-  | Some _ -> query_tree_cov ctx idx res cov_keep
-  | None -> query_basic_cov ctx idx res cov_keep
+  List.filter (fun (i, _) -> Hashtbl.mem keep_set i) cov
 
-let query ctx pattern =
-  match ctx.tree with
-  | Some _ -> query_tree ctx pattern
-  | None -> query_basic ctx pattern
+let compile ?(force = `Auto) ?k ctx pattern =
+  (match k with
+  | Some k when k <= 0 -> invalid_arg "Ptq.query_topk: k must be positive"
+  | _ -> ());
+  (match (force, ctx.tree) with
+  | `Tree, None -> invalid_arg "Ptq.query_tree: context has no block tree"
+  | _ -> ());
+  let idx = index_pattern pattern in
+  let res = Array.of_list (resolutions_of ctx pattern) in
+  (* One resolve and one coverage pass serve the relevance filter, the
+     probability ranking, the cost model and the restricted evaluation. *)
+  let cov = coverage_of ctx res in
+  let relevant = List.length cov in
+  let cov =
+    match k with
+    | None -> cov
+    | Some k -> prune_topk ctx ~k cov
+  in
+  let phys =
+    Plan.choose ?tree:ctx.tree ?k ~force ~n_mappings:(Mapping_set.size ctx.mset)
+      ~pattern ~resolutions:res ~coverage:cov ~relevant ()
+  in
+  { p_ctx = ctx; p_idx = idx; p_res = res; p_cov = cov; p_phys = phys }
+
+let physical p = p.p_phys
+
+let execute p =
+  Obs.incr c_queries;
+  Obs.incr c_executions;
+  match p.p_phys.Plan.evaluator with
+  | Plan.Per_mapping -> query_basic_cov p.p_ctx p.p_idx p.p_res p.p_cov
+  | Plan.Per_block -> query_tree_cov p.p_ctx p.p_idx p.p_res p.p_cov
+
+let query ?(force = `Auto) ctx pattern = execute (compile ~force ctx pattern)
+let query_basic ctx pattern = query ~force:`Basic ctx pattern
+let query_tree ctx pattern = query ~force:`Tree ctx pattern
+let query_topk ?(force = `Auto) ctx ~k pattern = execute (compile ~force ~k ctx pattern)
 
 let marginals answers =
   let tbl : (Binding.t, float) Hashtbl.t = Hashtbl.create 32 in
@@ -412,9 +444,11 @@ let consolidate answers =
 
 (* EXPLAIN as counter deltas: the query bumps the shared Obs counters; the
    executor joins its workers before returning, so before/after differences
-   are exact for any backend as long as no other query runs concurrently. *)
-let explain ctx pattern =
-  let n_resolutions = List.length (resolutions_of ctx pattern) in
+   are exact for any backend as long as no other query runs concurrently.
+   Working from a compiled plan means resolution and coverage happen
+   exactly once — the stats reuse the plan's materialized prefix instead of
+   re-resolving the pattern. *)
+let explain_plan (p : plan) =
   let grab () =
     ( Obs.value c_blocks_used,
       Obs.value c_shared,
@@ -423,22 +457,21 @@ let explain ctx pattern =
       Obs.value c_joins )
   in
   let b0, s0, d0, de0, j0 = grab () in
-  let answers =
-    match ctx.tree with
-    | Some _ -> query_tree ctx pattern
-    | None -> query_basic ctx pattern
-  in
+  let answers = execute p in
   let b1, s1, d1, de1, j1 = grab () in
   ( {
-      resolutions = n_resolutions;
+      resolutions = Array.length p.p_res;
       relevant_mappings = List.length answers;
       blocks_used = b1 - b0;
       shared_evaluations = s1 - s0;
       direct_evaluations = d1 - d0;
       decompositions = de1 - de0;
       joins = j1 - j0;
+      plan = p.p_phys;
     },
     answers )
+
+let explain ?(force = `Auto) ctx pattern = explain_plan (compile ~force ctx pattern)
 
 let binding_texts ctx pattern (b : Binding.t) =
   let labels = Pattern.labels pattern in

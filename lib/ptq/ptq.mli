@@ -10,7 +10,14 @@
     per c-block shared by many mappings, recursive decomposition and
     stack-based structural joins elsewhere). They return identical answers;
     only speed differs. {!query_topk} evaluates only the k most probable
-    relevant mappings (Definition 5). *)
+    relevant mappings (Definition 5).
+
+    Every query is compiled to a {!Uxsm_plan.Plan} — the shared
+    resolve/coverage prefix runs once, a cost model fed by block-tree
+    statistics picks the physical evaluator (overridable with [~force]),
+    and {!execute} replays the evaluate/merge suffix. {!compile} exposes
+    the compiled form so callers (the server catalog, the CLI) can cache
+    and re-execute plans without repeating resolution. *)
 
 type context
 
@@ -52,20 +59,52 @@ val filter_mappings : context -> Uxsm_twig.Pattern.t -> int list
 (** Relevant mappings: those with a correspondence for every query node
     under at least one resolution (Algorithm 3 Step 1). *)
 
+type plan
+(** A compiled query: the materialized resolve/coverage prefix plus the
+    chosen physical plan. Pins its context (mapping set, document, block
+    tree), so a cached plan stays executable after cache evictions
+    elsewhere. *)
+
+val compile :
+  ?force:Uxsm_plan.Plan.force ->
+  ?k:int ->
+  context ->
+  Uxsm_twig.Pattern.t ->
+  plan
+(** Resolve the pattern, compute the coverage table (pruned to the [k]
+    most probable relevant mappings when [k] is given), and pick the
+    physical evaluator — the cost model decides under [`Auto] (the
+    default); [`Basic] / [`Tree] force Algorithm 3 / 4. Raises
+    [Invalid_argument] for [~force:`Tree] on a context without a block
+    tree, or [k <= 0]. *)
+
+val execute : plan -> answer list
+(** Run the plan's evaluate/merge suffix. Answers in mapping-id order,
+    byte-identical across evaluators and execution backends (tested
+    property). Re-executing a plan repeats no resolution or coverage
+    work. *)
+
+val physical : plan -> Uxsm_plan.Plan.t
+(** The chosen physical plan (evaluator, cost estimates, pipeline). *)
+
 val query_basic : context -> Uxsm_twig.Pattern.t -> answer list
-(** Algorithm 3. Answers in mapping-id order. *)
+(** Algorithm 3 ([compile ~force:`Basic] + {!execute}). Answers in
+    mapping-id order. *)
 
 val query_tree : context -> Uxsm_twig.Pattern.t -> answer list
-(** Algorithm 4; requires the context to hold a block tree (raises
-    [Invalid_argument] otherwise). Answers in mapping-id order. *)
+(** Algorithm 4 ([compile ~force:`Tree] + {!execute}); requires the
+    context to hold a block tree (raises [Invalid_argument] otherwise).
+    Answers in mapping-id order. *)
 
-val query_topk : context -> k:int -> Uxsm_twig.Pattern.t -> answer list
-(** Top-k PTQ: evaluates only the [k] most probable relevant mappings, with
-    the block tree when available. *)
+val query_topk :
+  ?force:Uxsm_plan.Plan.force -> context -> k:int -> Uxsm_twig.Pattern.t -> answer list
+(** Top-k PTQ: evaluates only the [k] most probable relevant mappings,
+    with the cost-chosen evaluator (or [force]d one). *)
 
-val query : context -> Uxsm_twig.Pattern.t -> answer list
-(** {!query_tree} when the context has a block tree, {!query_basic}
-    otherwise. *)
+val query : ?force:Uxsm_plan.Plan.force -> context -> Uxsm_twig.Pattern.t -> answer list
+(** One-shot [compile] + {!execute}. Under the default [`Auto] the cost
+    model picks the evaluator per query; all choices return identical
+    answers. *)
 
 val marginals : answer list -> (Uxsm_twig.Binding.t * float) list
 (** Per-match marginal probabilities: each distinct document match with the
@@ -84,8 +123,8 @@ val binding_texts :
 (** For presentation: each query node's label paired with the text content
     of the document node it matched. *)
 
-(** Evaluation statistics of one {!query_tree} run — how much work the
-    block tree saved (its "EXPLAIN"). *)
+(** Evaluation statistics of one query run — how much work the block tree
+    saved (its "EXPLAIN"), plus the plan that ran. *)
 type stats = {
   resolutions : int;  (** schema resolutions of the query *)
   relevant_mappings : int;  (** mappings surviving filter_mappings *)
@@ -96,8 +135,13 @@ type stats = {
       (** per-mapping rewrite+match executions (subqueries included) *)
   decompositions : int;  (** split_query events (no block at the node) *)
   joins : int;  (** stack-join invocations *)
+  plan : Uxsm_plan.Plan.t;  (** the physical plan the run executed *)
 }
 
-val explain : context -> Uxsm_twig.Pattern.t -> stats * answer list
-(** Run {!query_tree} (or {!query_basic} without a tree) and report what it
-    did. The answers equal the plain query's. *)
+val explain : ?force:Uxsm_plan.Plan.force -> context -> Uxsm_twig.Pattern.t -> stats * answer list
+(** Compile (resolving and covering exactly once), execute, and report
+    what the run did. The answers equal the plain query's. *)
+
+val explain_plan : plan -> stats * answer list
+(** {!explain} for an already compiled plan — what the server uses so a
+    cached plan's explain repeats no compilation work. *)

@@ -6,6 +6,8 @@ module Serialize = Uxsm_mapping.Serialize
 module Block_tree = Uxsm_blocktree.Block_tree
 module Dataset = Uxsm_workload.Dataset
 module Gen_doc = Uxsm_workload.Gen_doc
+module Plan = Uxsm_plan.Plan
+module Ptq = Uxsm_ptq.Ptq
 
 (* Cache traffic is also mirrored into the metrics layer so `stats` (and
    bench records, if a server ever runs under the harness) can report it
@@ -15,17 +17,34 @@ let c_misses = Obs.counter "server.cache.misses"
 let c_evictions = Obs.counter "server.cache.evictions"
 let s_build = Obs.span "server.artifact_build"
 
+type plan_key = {
+  pk_corpus : string;
+  pk_pattern : string;
+  pk_h : int;
+  pk_tau : float;
+  pk_k : int option;
+  pk_force : Plan.force;
+}
+
 type key =
   | K_matching of string
   | K_doc of string
   | K_mset of string * int
   | K_tree of string * int * float
+  | K_plan of plan_key
 
 let key_string = function
   | K_matching c -> Printf.sprintf "matching/%s" c
   | K_doc c -> Printf.sprintf "doc/%s" c
   | K_mset (c, h) -> Printf.sprintf "mset/%s/h=%d" c h
   | K_tree (c, h, tau) -> Printf.sprintf "tree/%s/h=%d/tau=%g" c h tau
+  | K_plan p ->
+    Printf.sprintf "plan/%s/h=%d/tau=%g%s%s/%s" p.pk_corpus p.pk_h p.pk_tau
+      (match p.pk_k with None -> "" | Some k -> Printf.sprintf "/k=%d" k)
+      (match p.pk_force with
+      | `Auto -> ""
+      | f -> Printf.sprintf "/ev=%s" (Plan.force_to_string f))
+      p.pk_pattern
 
 type artifact =
   | A_matching of Matching.t
@@ -34,6 +53,10 @@ type artifact =
   | A_tree of Mapping_set.t * Block_tree.t
       (** the tree pins its mapping set so a cached tree answers queries
           even after the standalone mapping-set entry was evicted *)
+  | A_plan of Ptq.plan
+      (** a compiled query plan; it pins its whole evaluation context
+          (mapping set, block tree, documents), so executions survive the
+          eviction of the artifacts it was compiled from *)
 
 type entry = {
   spec : Protocol.source_spec;
@@ -159,12 +182,37 @@ let tree_locked t name ~h ~tau =
     cache_put t key (A_tree (s, tr));
     (s, tr)
 
+(* A compiled plan pins mapping set, tree and documents, so repeated
+   queries skip pattern parsing, resolution, coverage and the cost model,
+   not just artifact construction. The key includes the forced evaluator:
+   a forced plan and the auto plan for the same query are distinct
+   artifacts. *)
+let plan_locked t name ~pattern ~h ~tau ~k ~force =
+  let key = K_plan { pk_corpus = name; pk_pattern = pattern; pk_h = h; pk_tau = tau;
+                     pk_k = k; pk_force = force }
+  in
+  match cache_get t key with
+  | Some (A_plan p) -> p
+  | _ ->
+    let q =
+      match Uxsm_twig.Pattern_parser.parse pattern with
+      | Ok q -> q
+      | Error e -> failf "bad query %S: %s" pattern e
+    in
+    let mset, tree = tree_locked t name ~h ~tau in
+    let doc = doc_locked t name in
+    let ctx = Ptq.context ~exec:t.exec ~tree ~mset ~doc () in
+    let p = Obs.time s_build (fun () -> Ptq.compile ~force ?k ctx q) in
+    cache_put t key (A_plan p);
+    p
+
 (* ------------------------------ public API ------------------------- *)
 
 let wrap f = try Ok (f ()) with Fail msg -> Error msg | Invalid_argument msg -> Error msg
 
 let corpus_of_key = function
   | K_matching c | K_doc c | K_mset (c, _) | K_tree (c, _, _) -> c
+  | K_plan p -> p.pk_corpus
 
 let register t ~name ~doc_seed ?doc_nodes spec =
   wrap (fun () ->
@@ -203,6 +251,9 @@ let mapping_set t name ~h = wrap (fun () -> with_lock t (fun () -> mset_locked t
 
 let prepared t name ~h ~tau =
   wrap (fun () -> with_lock t (fun () -> tree_locked t name ~h ~tau))
+
+let plan t name ~pattern ~h ~tau ~k ~force =
+  wrap (fun () -> with_lock t (fun () -> plan_locked t name ~pattern ~h ~tau ~k ~force))
 
 let cache_length t = with_lock t (fun () -> Lru.length t.cache)
 let cache_capacity t = Lru.capacity t.cache

@@ -15,15 +15,27 @@
     single internal lock; artifact builds run under it, so concurrent
     requests for the same key build once and the loser waits). *)
 
+type plan_key = {
+  pk_corpus : string;
+  pk_pattern : string;  (** the query's wire text *)
+  pk_h : int;
+  pk_tau : float;
+  pk_k : int option;
+  pk_force : Uxsm_plan.Plan.force;
+      (** forced and auto plans for the same query are distinct entries *)
+}
+
 type key =
   | K_matching of string  (** corpus name *)
   | K_doc of string
   | K_mset of string * int  (** corpus, h *)
   | K_tree of string * int * float  (** corpus, h, τ *)
+  | K_plan of plan_key  (** compiled query plan *)
 
 val key_string : key -> string
 (** Stable rendering for the [stats] endpoint, e.g.
-    ["tree/orders/h=100/tau=0.2"]. *)
+    ["tree/orders/h=100/tau=0.2"] or
+    ["plan/orders/h=100/tau=0.2/k=3//IP//ICN"]. *)
 
 type t
 
@@ -64,6 +76,22 @@ val prepared :
   (Uxsm_mapping.Mapping_set.t * Uxsm_blocktree.Block_tree.t, string) result
 (** The full pipeline product for one (corpus, h, τ): the top-h mapping set
     and its block tree (built with the CLI's MAX_B = MAX_F = 500). *)
+
+val plan :
+  t ->
+  string ->
+  pattern:string ->
+  h:int ->
+  tau:float ->
+  k:int option ->
+  force:Uxsm_plan.Plan.force ->
+  (Uxsm_ptq.Ptq.plan, string) result
+(** The compiled plan for one (corpus, pattern, h, τ, k, evaluator) — the
+    prepared-statement analogue. Parses the pattern, assembles the
+    evaluation context from the cached artifacts, compiles through the
+    cost model, and caches the result; repeat queries call
+    {!Uxsm_ptq.Ptq.execute} on the cached plan directly. [Error] on
+    unknown corpus, unparsable pattern, or an impossible [force]. *)
 
 val cache_length : t -> int
 val cache_capacity : t -> int

@@ -16,7 +16,14 @@ type request =
     }
   | Match of { corpus : string }
   | Mappings of { corpus : string; h : int }
-  | Query of { corpus : string; pattern : string; h : int; tau : float; k : int option }
+  | Query of {
+      corpus : string;
+      pattern : string;
+      h : int;
+      tau : float;
+      k : int option;
+      evaluator : Uxsm_plan.Plan.force;
+    }
   | Explain of { corpus : string; pattern : string; h : int; tau : float }
   | Save of { corpus : string; h : int; path : string option }
   | Stats
@@ -86,6 +93,14 @@ let tau_of op j =
 let corpus_of op j = str op "corpus" j
 let pattern_of op j = str op "query" j
 
+let evaluator_of op j =
+  match str_opt op "evaluator" j with
+  | None -> `Auto
+  | Some s -> (
+    match Uxsm_plan.Plan.force_of_string s with
+    | Some f -> f
+    | None -> failf "%s: field \"evaluator\" must be one of \"basic\", \"tree\", \"auto\"" op)
+
 let register_of j =
   let op = "register" in
   let name = str op "name" j in
@@ -126,7 +141,7 @@ let request_of_json j =
     let op = "query" in
     Query
       { corpus = corpus_of op j; pattern = pattern_of op j; h = h_of op j; tau = tau_of op j;
-        k = None }
+        k = None; evaluator = evaluator_of op j }
   | "query_topk" ->
     let op = "query_topk" in
     let k =
@@ -136,7 +151,7 @@ let request_of_json j =
     in
     Query
       { corpus = corpus_of op j; pattern = pattern_of op j; h = h_of op j; tau = tau_of op j;
-        k = Some k }
+        k = Some k; evaluator = evaluator_of op j }
   | "explain" ->
     let op = "explain" in
     Explain
@@ -180,10 +195,14 @@ let to_json { id; req } =
       @ (match doc_nodes with None -> [] | Some n -> [ ("doc_nodes", Json.Int n) ])
     | Match { corpus } -> [ ("corpus", Json.String corpus) ]
     | Mappings { corpus; h } -> [ ("corpus", Json.String corpus); ("h", Json.Int h) ]
-    | Query { corpus; pattern; h; tau; k } ->
+    | Query { corpus; pattern; h; tau; k; evaluator } ->
       [ ("corpus", Json.String corpus); ("query", Json.String pattern); ("h", Json.Int h);
         ("tau", Json.Float tau) ]
       @ (match k with None -> [] | Some k -> [ ("k", Json.Int k) ])
+      @ (match evaluator with
+        | `Auto -> []  (* the default round-trips as absence *)
+        | (`Basic | `Tree) as f ->
+          [ ("evaluator", Json.String (Uxsm_plan.Plan.force_to_string f)) ])
     | Explain { corpus; pattern; h; tau } ->
       [ ("corpus", Json.String corpus); ("query", Json.String pattern); ("h", Json.Int h);
         ("tau", Json.Float tau) ]

@@ -37,6 +37,9 @@ type request =
       h : int;
       tau : float;
       k : int option;  (** [Some k] is the [query_topk] endpoint *)
+      evaluator : Uxsm_plan.Plan.force;
+          (** optional ["evaluator"] field, ["basic"] / ["tree"] /
+              ["auto"]; absent means [`Auto] (cost-based choice) *)
     }
   | Explain of { corpus : string; pattern : string; h : int; tau : float }
   | Save of { corpus : string; h : int; path : string option }

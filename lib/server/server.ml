@@ -7,6 +7,7 @@ module Matching = Uxsm_mapping.Matching
 module Mapping = Uxsm_mapping.Mapping
 module Mapping_set = Uxsm_mapping.Mapping_set
 module Serialize = Uxsm_mapping.Serialize
+module Plan = Uxsm_plan.Plan
 module Ptq = Uxsm_ptq.Ptq
 
 let c_requests = Obs.counter "server.requests"
@@ -31,18 +32,11 @@ let request_stop t = Atomic.set t.stop true
 
 exception Fail of string
 
-let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
-
 let ok_or = function
   | Ok v -> v
   | Error msg -> raise (Fail msg)
 
 (* ------------------------------ dispatch -------------------------- *)
-
-let parse_pattern s =
-  match Uxsm_twig.Pattern_parser.parse s with
-  | Ok q -> q
-  | Error e -> failf "bad query %S: %s" s e
 
 let consolidated_json answers =
   Json.List
@@ -51,11 +45,6 @@ let consolidated_json answers =
          Json.Assoc
            [ ("probability", Json.Float p); ("matches", Json.Int (List.length bindings)) ])
        (Ptq.consolidate answers))
-
-let query_context t ~corpus ~h ~tau =
-  let mset, tree = ok_or (Catalog.prepared t.cat corpus ~h ~tau) in
-  let doc = ok_or (Catalog.doc t.cat corpus) in
-  (mset, Ptq.context ~exec:t.exec ~tree ~mset ~doc ())
 
 let dispatch t (req : Protocol.request) : (string * Json.t) list =
   match req with
@@ -106,14 +95,12 @@ let dispatch t (req : Protocol.request) : (string * Json.t) list =
                  ])
              (Mapping_set.mappings mset)) );
     ]
-  | Protocol.Query { corpus; pattern; h; tau; k } ->
-    let q = parse_pattern pattern in
-    let _, ctx = query_context t ~corpus ~h ~tau in
-    let answers =
-      match k with
-      | Some k -> Ptq.query_topk ctx ~k q
-      | None -> Ptq.query_tree ctx q
-    in
+  | Protocol.Query { corpus; pattern; h; tau; k; evaluator } ->
+    (* Compiled plans live in the catalog LRU: a repeat query (same
+       corpus, pattern, h, τ, k, evaluator) executes a prepared plan
+       without re-parsing, re-resolving or re-costing anything. *)
+    let plan = ok_or (Catalog.plan t.cat corpus ~pattern ~h ~tau ~k ~force:evaluator) in
+    let answers = Ptq.execute plan in
     [
       ("corpus", Json.String corpus);
       ("query", Json.String pattern);
@@ -122,16 +109,19 @@ let dispatch t (req : Protocol.request) : (string * Json.t) list =
     ]
     @ (match k with None -> [] | Some k -> [ ("k", Json.Int k) ])
     @ [
+        ("evaluator", Json.String (Plan.evaluator_wire (Ptq.physical plan).Plan.evaluator));
         ("relevant", Json.Int (List.length answers));
         ("answers", consolidated_json answers);
       ]
   | Protocol.Explain { corpus; pattern; h; tau } ->
-    let q = parse_pattern pattern in
-    let _, ctx = query_context t ~corpus ~h ~tau in
-    let stats, answers = Ptq.explain ctx q in
+    let plan =
+      ok_or (Catalog.plan t.cat corpus ~pattern ~h ~tau ~k:None ~force:`Auto)
+    in
+    let stats, answers = Ptq.explain_plan plan in
     [
       ("corpus", Json.String corpus);
       ("query", Json.String pattern);
+      ("plan", Plan.to_json stats.Ptq.plan);
       ("resolutions", Json.Int stats.Ptq.resolutions);
       ("relevant_mappings", Json.Int stats.Ptq.relevant_mappings);
       ("blocks_used", Json.Int stats.Ptq.blocks_used);

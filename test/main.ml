@@ -11,6 +11,7 @@ let () =
       ("mapping", Test_mapping.suite);
       ("blocktree", Test_blocktree.suite);
       ("twig", Test_twig.suite);
+      ("plan", Test_plan.suite);
       ("ptq", Test_ptq.suite);
       ("workload", Test_workload.suite);
       ("server", Test_server.suite);

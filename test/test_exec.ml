@@ -167,6 +167,36 @@ let prop_ptq_domains_eq_sequential =
            (Ptq.query_topk ctx_seq ~k pattern)
            (Ptq.query_topk ctx_par ~k pattern))
 
+let prop_plan_execution_eq_query_basic =
+  (* The tentpole differential: every way of executing a compiled plan —
+     both physical operators, cost-chosen or forced, sequential or with
+     domain fan-out — returns the seed query_basic answers bit-identically,
+     including under top-k pruning. *)
+  QCheck.Test.make ~count:60 ~name:"plan execution (all evaluators x executors) = query_basic"
+    QCheck.(triple (int_range 1 1000000) (int_range 2 15) (int_range 1 6))
+    (fun (seed, h, k) ->
+      let prng = Uxsm_util.Prng.create seed in
+      let mset = Fixtures.random_mapping_set prng ~source_n:14 ~target_n:10 ~corrs:14 ~h in
+      let tree = Block_tree.build ~params:{ Block_tree.tau = 0.3; max_b = 100; max_f = 100 } mset in
+      let doc = Fixtures.random_doc prng (Mapping_set.source mset) in
+      let pattern = Fixtures.random_pattern prng (Mapping_set.target mset) in
+      let ctxs =
+        [
+          Uxsm_ptq.Ptq.context ~tree ~mset ~doc ();
+          Uxsm_ptq.Ptq.context ~exec:par ~tree ~mset ~doc ();
+        ]
+      in
+      let expect = Ptq.query_basic (List.hd ctxs) pattern in
+      let expect_topk = Ptq.query_topk (List.hd ctxs) ~k pattern in
+      List.for_all
+        (fun ctx ->
+          List.for_all
+            (fun force ->
+              answers_identical expect (Ptq.execute (Ptq.compile ~force ctx pattern))
+              && answers_identical expect_topk (Ptq.execute (Ptq.compile ~force ~k ctx pattern)))
+            [ `Auto; `Basic; `Tree ])
+        ctxs)
+
 let prop_ptq_counter_totals =
   QCheck.Test.make ~count:30 ~name:"PTQ counter totals Domains = Sequential"
     QCheck.(pair (int_range 1 1000000) (int_range 2 12))
@@ -220,6 +250,7 @@ let suite =
     Alcotest.test_case "Obs totals under parallel fan-out" `Quick test_parallel_counter_totals;
     q prop_partition_domains_eq_sequential;
     q prop_ptq_domains_eq_sequential;
+    q prop_plan_execution_eq_query_basic;
     q prop_ptq_counter_totals;
     q prop_coma_domains_eq_sequential;
   ]

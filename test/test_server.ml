@@ -10,6 +10,7 @@ module Executor = Uxsm_exec.Executor
 module Obs = Uxsm_obs.Obs
 module Serialize = Uxsm_mapping.Serialize
 module Mapping_set = Uxsm_mapping.Mapping_set
+module Plan = Uxsm_plan.Plan
 module Lru = Uxsm_server.Lru
 module Protocol = Uxsm_server.Protocol
 module Catalog = Uxsm_server.Catalog
@@ -89,12 +90,13 @@ let test_protocol_parse () =
   Alcotest.(check string) "op" "ping" (Protocol.op_name env.Protocol.req);
   Alcotest.(check bool) "id echoed" true (env.Protocol.id = Some (Json.Int 7));
   (match (parse_ok {|{"op":"query","corpus":"c","query":"a/b"}|}).Protocol.req with
-  | Protocol.Query { corpus; pattern; h; tau; k } ->
+  | Protocol.Query { corpus; pattern; h; tau; k; evaluator } ->
     Alcotest.(check string) "corpus" "c" corpus;
     Alcotest.(check string) "pattern" "a/b" pattern;
     Alcotest.(check int) "default h" Protocol.default_h h;
     Alcotest.(check (float 0.0)) "default tau" Protocol.default_tau tau;
-    Alcotest.(check bool) "no k" true (k = None)
+    Alcotest.(check bool) "no k" true (k = None);
+    Alcotest.(check string) "default evaluator" "auto" (Plan.force_to_string evaluator)
   | _ -> Alcotest.fail "expected Query");
   (match (parse_ok {|{"op":"query_topk","corpus":"c","query":"a","k":3,"h":7,"tau":0.5}|}).Protocol.req with
   | Protocol.Query { h = 7; tau = 0.5; k = Some 3; _ } -> ()
@@ -271,9 +273,11 @@ let test_query_amortization () =
   | None -> Alcotest.fail "stats carries no cache section")
 
 let test_cache_eviction_rebuilds () =
-  (* A capacity-2 cache cannot hold matching + doc + mset + tree at once,
-     so artifacts are rebuilt after eviction — answers stay identical,
-     only the work repeats. *)
+  (* A capacity-2 cache cannot hold matching + doc + mset + tree + plan at
+     once, so artifacts are rebuilt after eviction — answers stay
+     identical, only the work repeats. A repeated identical query executes
+     its cached plan (which pins its own context), so a *different* plan
+     key is what forces the evicted artifacts to rebuild. *)
   Obs.reset ();
   let srv = Server.create ~cache_entries:2 () in
   assert_ok "register" (response_of_line srv (register_line "fig3"));
@@ -281,6 +285,17 @@ let test_cache_eviction_rebuilds () =
   let r1 = Server.handle_line srv q in
   let r2 = Server.handle_line srv q in
   Alcotest.(check string) "answers survive eviction" r1 r2;
+  (* The cached plan pins its context: no rebuild for the repeat. *)
+  let stats_before = response_of_line srv {|{"op":"stats"}|} in
+  Alcotest.(check int) "repeat executed the cached plan, one build"
+    1 (counter_value stats_before "blocktree.builds");
+  (* A forced evaluator is a different plan key; compiling it must rebuild
+     the evicted tree. *)
+  let qb = {|{"op":"query","corpus":"fig3","query":"ORDER//ICN","h":5,"evaluator":"basic"}|} in
+  let r3 = response_of_line srv qb in
+  Alcotest.(check bool) "forced plan answers agree" true
+    (Json.member "answers" r3
+    = Option.bind (Result.to_option (Json.of_string r1)) (Json.member "answers"));
   let stats = response_of_line srv {|{"op":"stats"}|} in
   (match Json.member "cache" stats with
   | Some cache ->
@@ -289,6 +304,75 @@ let test_cache_eviction_rebuilds () =
   | None -> Alcotest.fail "stats carries no cache section");
   Alcotest.(check bool) "tree rebuilt after eviction" true
     (counter_value stats "blocktree.builds" >= 2)
+
+(* ---------------------- evaluator selection ----------------------- *)
+
+let test_query_evaluator_field () =
+  let srv = Server.create ~cache_entries:16 () in
+  assert_ok "register" (response_of_line srv (register_line "fig3"));
+  let reply ev =
+    response_of_line srv
+      (Printf.sprintf
+         {|{"op":"query","corpus":"fig3","query":"ORDER//ICN","h":5%s}|}
+         (match ev with None -> "" | Some e -> Printf.sprintf {|,"evaluator":%S|} e))
+  in
+  let echoed j =
+    match Option.bind (Json.member "evaluator" j) Json.to_string_opt with
+    | Some s -> s
+    | None -> Alcotest.failf "query reply carries no evaluator: %s" (Json.to_string j)
+  in
+  (* Forced evaluators echo back and answers do not depend on the choice. *)
+  let rb = reply (Some "basic") and rt = reply (Some "tree") and ra = reply None in
+  Alcotest.(check string) "forced basic echoed" "basic" (echoed rb);
+  Alcotest.(check string) "forced tree echoed" "tree" (echoed rt);
+  Alcotest.(check bool) "auto echoes the chosen wire word" true
+    (List.mem (echoed ra) [ "basic"; "tree" ]);
+  Alcotest.(check bool) "answers agree across evaluators" true
+    (Json.member "answers" rb = Json.member "answers" rt
+    && Json.member "answers" rb = Json.member "answers" ra);
+  (* Unknown values get the structured field error, naming the field. *)
+  let bad =
+    response_of_line srv
+      {|{"op":"query","corpus":"fig3","query":"ORDER//ICN","h":5,"evaluator":"fast"}|}
+  in
+  assert_error "unknown evaluator" bad;
+  (match Json.member "error" bad with
+  | Some (Json.String e) ->
+    Alcotest.(check bool) "error names the evaluator field" true (contains ~needle:"evaluator" e)
+  | _ -> Alcotest.fail "no error text");
+  (* query_topk takes the field too. *)
+  let topk =
+    response_of_line srv
+      {|{"op":"query_topk","corpus":"fig3","query":"ORDER//ICN","h":5,"k":2,"evaluator":"basic"}|}
+  in
+  assert_ok "query_topk with evaluator" topk;
+  Alcotest.(check string) "topk echoes the forced word" "basic" (echoed topk);
+  (* Compiled plans are visible in the cache keys. *)
+  (match Option.bind (Json.member "cache" (response_of_line srv {|{"op":"stats"}|}))
+           (Json.member "keys")
+   with
+  | Some (Json.List keys) ->
+    Alcotest.(check bool) "plan keys cached" true
+      (List.exists
+         (function Json.String s -> contains ~needle:"plan/fig3" s | _ -> false)
+         keys)
+  | _ -> Alcotest.fail "stats carries no cache keys")
+
+let test_explain_carries_plan () =
+  let srv = Server.create ~cache_entries:16 () in
+  assert_ok "register" (response_of_line srv (register_line "fig3"));
+  let ex = response_of_line srv {|{"op":"explain","corpus":"fig3","query":"//IP//ICN","h":5}|} in
+  assert_ok "explain" ex;
+  match Json.member "plan" ex with
+  | Some plan ->
+    (match Option.bind (Json.member "evaluator" plan) Json.to_string_opt with
+    | Some ev -> Alcotest.(check bool) "plan names its evaluator" true
+                   (List.mem ev [ "per_mapping"; "per_block" ])
+    | None -> Alcotest.fail "plan carries no evaluator");
+    (match Json.member "ops" plan with
+    | Some (Json.List ops) -> Alcotest.(check bool) "plan lists its ops" true (List.length ops >= 5)
+    | _ -> Alcotest.fail "plan carries no ops")
+  | None -> Alcotest.failf "explain reply carries no plan: %s" (Json.to_string ex)
 
 (* --------------------------- batching ----------------------------- *)
 
@@ -372,6 +456,8 @@ let suite =
     Alcotest.test_case "malformed input never crashes" `Quick test_dispatch_errors_never_crash;
     Alcotest.test_case "identical queries amortize (e2e)" `Quick test_query_amortization;
     Alcotest.test_case "eviction rebuilds, answers unchanged" `Quick test_cache_eviction_rebuilds;
+    Alcotest.test_case "evaluator field on query/query_topk" `Quick test_query_evaluator_field;
+    Alcotest.test_case "explain replies carry the plan" `Quick test_explain_carries_plan;
     Alcotest.test_case "pipelined batches across backends" `Quick test_handle_lines_batching;
     Alcotest.test_case "stdio transport drains on shutdown" `Quick test_serve_channels;
   ]
