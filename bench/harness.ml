@@ -44,7 +44,7 @@ let close_current () =
       Bench_json.experiment ~params:(List.rev p.p_params)
         ~measurements:(List.rev p.p_measurements)
         ~snapshot:(Obs.snapshot ()) ~id:p.p_id ~title:p.p_title
-        ~wall_seconds:(Unix.gettimeofday () -. p.p_t0)
+        ~wall_seconds:(Uxsm_util.Timing.now_mono () -. p.p_t0)
         ()
     in
     completed := e :: !completed;
@@ -110,9 +110,9 @@ let seconds_per_run ?quota ~name f =
     | _ ->
       (* Degenerate sample (e.g. a single very slow run): fall back to one
          timed execution. *)
-      let t0 = Unix.gettimeofday () in
+      let t0 = Uxsm_util.Timing.now_mono () in
       ignore (f ());
-      Unix.gettimeofday () -. t0
+      Uxsm_util.Timing.now_mono () -. t0
   in
   record_measurement name seconds;
   seconds
@@ -130,7 +130,7 @@ let section id title =
         p_id = id;
         p_title = title;
         p_params = [];
-        p_t0 = Unix.gettimeofday ();
+        p_t0 = Uxsm_util.Timing.now_mono ();
         p_measurements = [];
       };
   Printf.printf "\n=== %s: %s ===\n%!" id title

@@ -180,11 +180,11 @@ let query_times h =
   List.map
     (fun (id, q) ->
       let tb =
-        Harness.seconds_per_run ~quota:0.5 ~name:(id ^ "-basic")
+        Harness.seconds_per_run ~quota:1.0 ~name:(id ^ "-basic")
           (fun () -> Ptq.query_basic ctx_basic q)
       in
       let tt =
-        Harness.seconds_per_run ~quota:0.5 ~name:(id ^ "-tree")
+        Harness.seconds_per_run ~quota:1.0 ~name:(id ^ "-tree")
           (fun () -> Ptq.query_tree ctx_tree q)
       in
       (id, tb, tt))
@@ -284,11 +284,11 @@ let fig10e () =
       let g = Matching.to_bipartite (Dataset.matching d) in
       let n_parts = List.length (Partition.components g) in
       let tm =
-        Harness.seconds_per_run ~quota:0.5 ~name:(d.id ^ "-murty")
+        Harness.seconds_per_run ~quota:1.0 ~name:(d.id ^ "-murty")
           (fun () -> Murty.top ~h:100 g)
       in
       let tp =
-        Harness.seconds_per_run ~quota:0.5 ~name:(d.id ^ "-partition")
+        Harness.seconds_per_run ~quota:1.0 ~name:(d.id ^ "-partition")
           (fun () -> Partition.top ~exec:!exec ~h:100 g)
       in
       Harness.row "%-4s %10.2fms %10.2fms %12d %10.1f%%" d.id (ms tm) (ms tp) n_parts
@@ -428,6 +428,43 @@ let abl_relational () =
     (100.0 *. (tm -. tp) /. tm);
   Harness.note "flat (2-level) schemas are even sparser; the partitioning advantage persists"
 
+let abl_exec_pool () =
+  Harness.section "abl_exec_pool"
+    "ABLATION: executor dispatch overhead, sequential vs warm-pool fan-out";
+  Harness.json_param "threshold" (Json.Float (Executor.parallel_threshold ()));
+  let sizes = [ 1_000; 10_000; 100_000 ] in
+  Harness.json_param "sizes" (int_list sizes);
+  (* Near-trivial payload, so the pool side measures almost pure scheduling
+     cost. The calls carry no [cost_hint] on purpose: hint-less calls bypass
+     the cost gate, so at jobs>1 every iteration really wakes the warm
+     workers — this section is what CI greps to prove the pool spawns at
+     most (jobs - 1) domains for the whole run instead of per call. *)
+  let f x = (x * 31) lxor (x lsr 3) in
+  Harness.row "%8s %14s %14s %8s" "items" "sequential" "warm-pool" "ratio";
+  List.iter
+    (fun n ->
+      let arr = Array.init n Fun.id in
+      let ts =
+        Harness.seconds_per_run ~name:(Printf.sprintf "seq-%d" n)
+          (fun () -> Executor.map_array Executor.sequential f arr)
+      in
+      let tp =
+        Harness.seconds_per_run ~name:(Printf.sprintf "pool-%d" n)
+          (fun () -> Executor.map_array !exec f arr)
+      in
+      Harness.row "%8d %12.4fms %12.4fms %7.2fx" n (ms ts) (ms tp) (tp /. ts))
+    sizes;
+  Harness.json_param "pool_width" (Json.Int (Executor.pool_width ()));
+  (* Park-and-join: idle pool domains still take part in every GC
+     stop-the-world handshake, which on a host with few spare cores taxes
+     the *sequential* sections that run after this one. Joining here keeps
+     each record's timings attributable to its own section. *)
+  Executor.shutdown ();
+  Harness.note
+    "exec.domains_spawned in this record must stay below the pool width (workers are reused)";
+  Harness.note
+    "with few cores the ratio is pure dispatch overhead -- the cost gate exists to dodge exactly that"
+
 let abl_plan_choice () =
   Harness.section "abl_plan_choice"
     "ABLATION: cost-based evaluator choice vs forced basic/tree (D7, |M|=100)";
@@ -536,6 +573,7 @@ let experiments =
     ("abl_engine", abl_engine);
     ("abl_compress", abl_compress);
     ("abl_relational", abl_relational);
+    ("abl_exec_pool", abl_exec_pool);
     ("abl_plan_choice", abl_plan_choice);
   ]
 
@@ -586,7 +624,7 @@ let () =
   Printf.printf
     "defaults: |M|=100, tau=0.2, MAX_B=500, MAX_F=500, dataset D7, source doc 3473 nodes\n";
   Printf.printf "executor: %s (--jobs %d)\n%!" (Executor.backend_name !exec) !jobs;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Uxsm_util.Timing.now_mono () in
   List.iter
     (fun id ->
       match List.assoc_opt id experiments with
@@ -596,4 +634,4 @@ let () =
           (String.concat ", " (List.map fst experiments)))
     selected;
   Harness.finalize ~argv ~jobs:!jobs ~executor:(Executor.backend_name !exec) ();
-  Printf.printf "\ntotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\ntotal bench wall time: %.1fs\n" (Uxsm_util.Timing.now_mono () -. t0)

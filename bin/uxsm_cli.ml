@@ -145,11 +145,11 @@ let load_mapping_set path =
 
 let mappings_cmd =
   let run d seed h method_ jobs verbose save =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Uxsm_util.Timing.now_mono () in
     let mset = Dataset.mapping_set ~seed ~method_ ~exec:(Executor.of_jobs jobs) ~h d in
     Printf.printf "derived %d mappings in %.3fs; average o-ratio %.3f\n"
       (Mapping_set.size mset)
-      (Unix.gettimeofday () -. t0)
+      (Uxsm_util.Timing.now_mono () -. t0)
       (Mapping_set.average_o_ratio mset);
     (match save with
     | Some path ->
@@ -188,9 +188,9 @@ let mappings_cmd =
 let blocktree_cmd =
   let run d seed h tau max_b max_f verbose =
     let mset = Dataset.mapping_set ~seed ~h d in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Uxsm_util.Timing.now_mono () in
     let tree = Block_tree.build ~params:{ Block_tree.tau; max_b; max_f } mset in
-    Printf.printf "built in %.3fs\n%s\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "built in %.3fs\n%s\n" (Uxsm_util.Timing.now_mono () -. t0)
       (Format.asprintf "%a" Block_tree.pp_stats tree);
     (match Block_tree.validate tree with
     | Ok () -> print_endline "validation: ok"
@@ -248,10 +248,10 @@ let query_cmd =
     let doc = Gen_doc.generate (Mapping_set.source mset) in
     let tree = Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } mset in
     let ctx = Ptq.context ~exec ~tree ~mset ~doc () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Uxsm_util.Timing.now_mono () in
     let plan = Ptq.compile ~force:(force_of ~basic ~evaluator) ?k ctx query in
     let answers = Ptq.execute plan in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Uxsm_util.Timing.now_mono () -. t0 in
     Printf.printf "query: %s\n" (Uxsm_twig.Pattern.to_string query);
     if show_plan then print_endline (Uxsm_plan.Plan.describe (Ptq.physical plan));
     Printf.printf "%d relevant mappings; evaluated in %.4fs\n" (List.length answers) dt;

@@ -116,6 +116,12 @@ let top ?(exec = Uxsm_exec.Executor.sequential) ?order ~h g =
     in
     (* Components rank independently on the executor; the heap merge is
        order-sensitive, so it folds sequentially over the per-component
-       lists in component order — the same fold Sequential performs. *)
-    let ranked = Uxsm_exec.Executor.map_list exec local_top comps in
+       lists in component order — the same fold Sequential performs.
+       The cost hint sizes the whole ranking job for the executor's gate:
+       Murty's warm-restart work per component grows with the solutions
+       requested and the edges branched over, so h * total-edges is the
+       job's size in rough node-visit-equivalent units. *)
+    let total_edges = List.fold_left (fun acc c -> acc + List.length c.edges) 0 comps in
+    let cost_hint = float_of_int h *. float_of_int total_edges in
+    let ranked = Uxsm_exec.Executor.map_list ~cost_hint exec local_top comps in
     List.fold_left (fun acc local -> merge ~h acc local) [ empty_solution ] ranked

@@ -1,3 +1,18 @@
+module Obs = Uxsm_obs.Obs
+
+(* Observability: the executor's scheduling decisions, so the fix for the
+   per-call-spawn regression stays measurable. [domains_spawned] counts
+   real [Domain.spawn]s — with the warm pool it is bounded by the pool
+   width for the whole process lifetime, which the CI parallel-smoke job
+   asserts against the bench records. *)
+let c_spawned = Obs.counter "exec.domains_spawned"
+let c_parallel = Obs.counter "exec.parallel_calls"
+let c_tasks = Obs.counter "exec.tasks"
+let c_chunks = Obs.counter "exec.chunks"
+let c_gate_seq = Obs.counter "exec.sequential_by_gate"
+let c_nested_seq = Obs.counter "exec.nested_sequential"
+let c_busy_seq = Obs.counter "exec.sequential_busy"
+
 type t =
   | Sequential
   | Domains of int
@@ -12,13 +27,20 @@ let of_jobs n =
   if n < 1 then invalid_arg "Executor.of_jobs: jobs must be >= 1";
   if n = 1 then Sequential else Domains n
 
-let jobs_of_env ?(default = 1) () =
+let jobs_of_env ?(default = 1) ?(warn = prerr_endline) () =
   match Sys.getenv_opt "UXSM_JOBS" with
   | None -> default
+  | Some s when String.trim s = "" -> default
   | Some s -> (
     match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | _ -> default)
+    | _ ->
+      (* A typo'd UXSM_JOBS silently running sequential is how operators
+         lose an afternoon; keep the safe fallback but say so. *)
+      warn
+        (Printf.sprintf "uxsm: ignoring UXSM_JOBS=%S (expected an integer >= 1), using %d" s
+           default);
+      default)
 
 let jobs = function
   | Sequential -> 1
@@ -32,43 +54,214 @@ let is_parallel = function
   | Sequential | Domains 1 -> false
   | Domains _ -> true
 
+(* --------------------------- cost gate ----------------------------- *)
+
+(* Break-even fan-out size in the plan cost model's node-visit units
+   (Uxsm_plan: one rewrite+match visit of one pattern node for one
+   mapping, roughly a handful of microseconds of work). Dispatching a
+   bulk operation on the warm pool costs a few worker wakeups — tens of
+   microseconds — so on a multi-core machine fan-out pays once the job
+   carries a few thousand units. On a machine exposing a single hardware
+   thread, domain fan-out can never reduce wall time (the domains share
+   the one core and add scheduling overhead), so the gate sends every
+   cost-hinted call sequential there. Hint-less calls are never gated:
+   call sites without a cost model keep the explicit-jobs contract. *)
+let default_threshold =
+  if Domain.recommended_domain_count () <= 1 then Float.infinity else 4000.0
+
+let parallel_threshold () =
+  match Sys.getenv_opt "UXSM_PAR_THRESHOLD" with
+  | None -> default_threshold
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f when f >= 0.0 -> f
+    | _ -> default_threshold)
+
+(* ---------------------------- warm pool ---------------------------- *)
+
 (* Workers mark their domain so a nested bulk operation degrades to
-   sequential execution instead of spawning domains recursively. *)
+   sequential execution instead of deadlocking on the pool. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-(* One bulk operation: a shared atomic index hands out items dynamically;
-   every worker writes only its own slots of [results], so no lock is
-   needed. The first exception wins and aborts the remaining items. *)
-let parallel_map pool f (arr : 'a array) : 'b array =
+(* One pool worker: a parked domain with a single-slot mailbox. The
+   submitter stores a job closure and signals; the worker runs it, clears
+   the slot, and signals completion on the same condition. One mutex and
+   condition per worker keeps submission free of generation counters and
+   thundering-herd wakeups — pools here are a handful of domains wide. *)
+type worker = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_job : (unit -> unit) option;
+  mutable w_stop : bool;
+  mutable w_domain : unit Domain.t option;
+}
+
+let rec worker_loop w =
+  Mutex.lock w.w_mutex;
+  while w.w_job = None && not w.w_stop do
+    Condition.wait w.w_cond w.w_mutex
+  done;
+  if w.w_stop then Mutex.unlock w.w_mutex
+  else begin
+    let job =
+      match w.w_job with
+      | Some j -> j
+      | None -> assert false
+    in
+    Mutex.unlock w.w_mutex;
+    (* The job closure confines every exception to its shared error slot;
+       this handler only shields the pool from a bug in that closure. *)
+    (* lint: allow catch-all — a worker must survive any job to stay parkable; jobs record their own errors *)
+    (try job () with _ -> ());
+    Mutex.lock w.w_mutex;
+    w.w_job <- None;
+    Condition.broadcast w.w_cond;
+    Mutex.unlock w.w_mutex;
+    worker_loop w
+  end
+
+(* Pool state. [pool_mutex] serializes pool growth, bulk submission and
+   shutdown: exactly one bulk operation drives the workers at a time (a
+   concurrent bulk call from another domain degrades to sequential rather
+   than blocking), so workers only ever synchronize through their own
+   mailboxes. *)
+(* lint: allow domain-unsafe — all access is under pool_mutex (see above) *)
+let pool : worker array ref = ref [||]
+
+let pool_mutex = Mutex.create ()
+
+(* lint: allow domain-unsafe — read/written only under pool_mutex *)
+let exit_hook_registered = ref false
+
+let spawn_worker () =
+  let w =
+    { w_mutex = Mutex.create (); w_cond = Condition.create (); w_job = None; w_stop = false;
+      w_domain = None }
+  in
+  Obs.incr c_spawned;
+  let d =
+    Domain.spawn (fun () ->
+        Domain.DLS.set in_worker true;
+        worker_loop w)
+  in
+  w.w_domain <- Some d;
+  w
+
+(* Callers: must hold [pool_mutex]. *)
+let shutdown_locked () =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.w_mutex;
+      w.w_stop <- true;
+      Condition.broadcast w.w_cond;
+      Mutex.unlock w.w_mutex)
+    !pool;
+  Array.iter
+    (fun w ->
+      match w.w_domain with
+      | Some d -> Domain.join d
+      | None -> ())
+    !pool;
+  pool := [||]
+
+let shutdown () =
+  Mutex.lock pool_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool_mutex) shutdown_locked
+
+let pool_width () =
+  Mutex.lock pool_mutex;
+  let n = Array.length !pool in
+  Mutex.unlock pool_mutex;
+  n
+
+(* Must hold [pool_mutex]. Grows the pool to [n] workers; the pool keeps
+   its high-water width until [shutdown] (workers park when idle). *)
+let ensure_pool_locked n =
+  if not !exit_hook_registered then begin
+    exit_hook_registered := true;
+    at_exit shutdown
+  end;
+  let have = Array.length !pool in
+  if have < n then
+    pool := Array.append !pool (Array.init (n - have) (fun _ -> spawn_worker ()))
+
+(* ------------------------- bulk operations ------------------------- *)
+
+(* Chunks per pool member: enough slack for the dynamic cursor to
+   re-balance skewed item costs (one huge connected component among tiny
+   ones), small enough that cursor traffic stays negligible. *)
+let chunks_per_member = 4
+
+let chunk_size ~members n = max 1 (n / (members * chunks_per_member))
+
+(* One bulk operation on the warm pool: an atomic cursor hands out chunks
+   of [csize] consecutive indices; every participant writes only its own
+   slots of [results], so no lock is needed. The first exception wins —
+   with its backtrace, captured at the catch site — and aborts the
+   remaining chunks. *)
+let parallel_map_locked ~members f (arr : 'a array) : 'b array =
   let n = Array.length arr in
+  let csize = chunk_size ~members n in
+  let n_chunks = (n + csize - 1) / csize in
   let results : 'b option array = Array.make n None in
   let next = Atomic.make 0 in
-  let error : exn option Atomic.t = Atomic.make None in
+  let error : (exn * Printexc.raw_backtrace) option Atomic.t = Atomic.make None in
+  Obs.incr c_parallel;
+  Obs.add c_tasks n;
+  Obs.add c_chunks n_chunks;
   let work () =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n && Atomic.get error = None then begin
-        (try results.(i) <- Some (f arr.(i))
-         with e -> ignore (Atomic.compare_and_set error None (Some e)));
+      let start = Atomic.fetch_and_add next csize in
+      if start < n && Atomic.get error = None then begin
+        let stop = min n (start + csize) in
+        (try
+           let i = ref start in
+           while !i < stop && Atomic.get error = None do
+             results.(!i) <- Some (f arr.(!i));
+             incr i
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set error None (Some (e, bt))));
         loop ()
       end
     in
     loop ()
   in
-  let worker () =
-    Domain.DLS.set in_worker true;
+  (* Workers inherit the submitter's backtrace status so the preserved
+     backtrace of a worker-side raise is actually recorded. *)
+  let bt_status = Printexc.backtrace_status () in
+  let job () =
+    if Printexc.backtrace_status () <> bt_status then Printexc.record_backtrace bt_status;
     work ()
   in
-  let spawned = Array.init (min pool n - 1) (fun _ -> Domain.spawn worker) in
-  (* The calling domain participates as the pool's last member. *)
+  let helpers = min (members - 1) (n_chunks - 1) in
+  ensure_pool_locked helpers;
+  let assigned = Array.sub !pool 0 helpers in
+  Array.iter
+    (fun w ->
+      Mutex.lock w.w_mutex;
+      w.w_job <- Some job;
+      Condition.broadcast w.w_cond;
+      Mutex.unlock w.w_mutex)
+    assigned;
+  (* The calling domain participates as the pool's last member, then waits
+     for every assigned worker to drain its mailbox. *)
   Domain.DLS.set in_worker true;
   Fun.protect
     ~finally:(fun () -> Domain.DLS.set in_worker false)
     (fun () ->
       work ();
-      Array.iter Domain.join spawned);
+      Array.iter
+        (fun w ->
+          Mutex.lock w.w_mutex;
+          while w.w_job <> None do
+            Condition.wait w.w_cond w.w_mutex
+          done;
+          Mutex.unlock w.w_mutex)
+        assigned);
   (match Atomic.get error with
-  | Some e -> raise e
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ());
   Array.map
     (function
@@ -76,15 +269,38 @@ let parallel_map pool f (arr : 'a array) : 'b array =
       | None -> assert false)
     results
 
-let map_array t f arr =
+let map_array ?cost_hint t f arr =
   match t with
   | Sequential -> Array.map f arr
-  | Domains pool when pool <= 1 -> Array.map f arr
-  | Domains pool ->
-    if Array.length arr <= 1 || Domain.DLS.get in_worker then Array.map f arr
-    else parallel_map pool f arr
+  | Domains pool_size when pool_size <= 1 -> Array.map f arr
+  | Domains pool_size ->
+    if Array.length arr <= 1 then Array.map f arr
+    else if Domain.DLS.get in_worker then begin
+      Obs.incr c_nested_seq;
+      Array.map f arr
+    end
+    else begin
+      match cost_hint with
+      | Some h when h < parallel_threshold () ->
+        Obs.incr c_gate_seq;
+        Array.map f arr
+      | _ ->
+        if Mutex.try_lock pool_mutex then
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock pool_mutex)
+            (fun () ->
+              parallel_map_locked ~members:(min pool_size (Array.length arr)) f arr)
+        else begin
+          (* Another domain is driving the pool; racing it for workers is
+             not worth blocking for — results are identical either way. *)
+          Obs.incr c_busy_seq;
+          Array.map f arr
+        end
+    end
 
-let map_list t f l =
-  if is_parallel t then Array.to_list (map_array t f (Array.of_list l)) else List.map f l
+let map_list ?cost_hint t f l =
+  if is_parallel t then Array.to_list (map_array ?cost_hint t f (Array.of_list l))
+  else List.map f l
 
-let map_reduce t ~map ~fold ~init arr = Array.fold_left fold init (map_array t map arr)
+let map_reduce ?cost_hint t ~map ~fold ~init arr =
+  Array.fold_left fold init (map_array ?cost_hint t map arr)

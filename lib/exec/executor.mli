@@ -4,34 +4,50 @@
 
     A value of type {!t} names a scheduling policy, not live state:
     [Sequential] runs bulk operations in the calling domain; [Domains n]
-    runs them on a pool of [n] OCaml 5 domains (the caller counts as one of
-    the [n], so [Domains 4] spawns three workers per bulk operation and
-    participates itself).
+    runs them across [n] members of a process-wide {e warm worker pool}
+    (the caller counts as one of the [n], so [Domains 4] uses three pool
+    workers and participates itself).
 
-    {b Determinism.} Every bulk operation merges results in index order, so
-    outputs are bit-identical across backends and pool sizes — the only
-    observable difference is wall-clock time (and the interleaving of
-    {!Uxsm_obs} counter increments, whose totals are preserved). This is
-    the contract the differential test suites enforce.
+    {b The warm pool.} Worker domains are spawned lazily on the first
+    parallel bulk call, parked on a mutex/condition mailbox when idle, and
+    reused by every subsequent bulk call — spawning is a pool-lifetime
+    cost, not a per-call cost (the [exec.domains_spawned] counter stays
+    bounded by the pool's high-water width). The pool grows on demand to
+    the widest [Domains n] seen, is joined by {!shutdown} (registered
+    [at_exit]), and re-warms transparently if used again afterwards.
 
-    {b Work distribution} is dynamic (an atomic shared index), so uneven
-    item costs — one huge connected component among many tiny ones — do not
-    idle the pool.
+    {b Chunked scheduling.} A bulk call hands out {e chunks} of
+    consecutive indices (sized from the item count and member count, a few
+    chunks per member) through an atomic cursor, so dynamic load balancing
+    survives skewed item costs without paying cursor traffic per item.
 
-    {b Nesting.} A bulk operation issued from inside a worker of another
-    bulk operation degrades to sequential execution instead of spawning
-    domains recursively, so nested parallel call sites (a parallel PTQ
-    whose per-mapping work itself calls a parallelized ranking) are safe
-    and never oversubscribe the machine.
+    {b Cost gate.} [map_array ~cost_hint] takes the job's total size in
+    the plan cost model's node-visit units ({!Uxsm_plan.Plan.estimate});
+    below {!parallel_threshold} the call degrades to sequential — the
+    planner's units, not hope, decide when fan-out is worth it. Calls
+    without a hint always fan out.
+
+    {b Determinism.} Every bulk operation merges results in index order,
+    so outputs are bit-identical across backends, pool sizes and gate
+    decisions — the only observable difference is wall-clock time (and the
+    interleaving of {!Uxsm_obs} counter increments, whose totals are
+    preserved). This is the contract the differential test suites enforce.
+
+    {b Nesting.} A bulk operation issued from inside a pool worker — or
+    while another domain is driving the pool — degrades to sequential
+    execution instead of spawning or deadlocking, so nested parallel call
+    sites are safe and never oversubscribe the machine.
 
     {b Exceptions.} If any item's function raises, remaining unstarted
-    items are abandoned, the pool is joined, and the first recorded
-    exception is re-raised in the caller. *)
+    chunks are abandoned, the workers park again, and the first recorded
+    exception is re-raised in the caller {e with the worker's backtrace}
+    (captured at the catch site, restored with
+    [Printexc.raise_with_backtrace]). *)
 
 type t =
   | Sequential
   | Domains of int
-      (** Fixed pool of this many domains per bulk operation, caller
+      (** Use this many warm-pool members per bulk operation, caller
           included. Must be >= 1; [Domains 1] behaves like [Sequential]. *)
 
 val sequential : t
@@ -43,11 +59,14 @@ val of_jobs : int -> t
 (** Map a CLI [--jobs N] value to a backend: [1] is [Sequential], [N > 1]
     is [Domains N]. Raises [Invalid_argument] when [n < 1]. *)
 
-val jobs_of_env : ?default:int -> unit -> int
+val jobs_of_env : ?default:int -> ?warn:(string -> unit) -> unit -> int
 (** The [UXSM_JOBS] environment variable as an integer, or [default]
-    (itself defaulting to 1) when it is unset, non-numeric or < 1. The
-    CLI and bench harness use this as the default of their [--jobs]
-    option — an explicit flag always wins. *)
+    (itself defaulting to 1) when it is unset or empty. A malformed or
+    out-of-range value (["four"], ["0"], ["-2"]) also falls back to
+    [default], but additionally reports the rejected value through [warn]
+    (default: one line on stderr) so operator typos don't silently run
+    sequential. The CLI and bench harness use this as the default of their
+    [--jobs] option — an explicit flag always wins. *)
 
 val jobs : t -> int
 (** [Sequential] is [1]; [Domains n] is [n]. *)
@@ -61,16 +80,37 @@ val is_parallel : t -> bool
     domain (i.e. [Domains n] with [n > 1]). Call sites use this to pick
     between one shared memo table and per-worker tables. *)
 
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
-(** [map_array t f a] is [Array.map f a], scheduled by [t]. [f] must be
-    safe to call from any domain (pure up to domain-safe effects such as
-    {!Uxsm_obs} counters); items may run in any order and concurrently.
-    The result is in index order regardless of backend. *)
+val parallel_threshold : unit -> float
+(** The cost gate's break-even point in node-visit units: a hinted bulk
+    call below it runs sequentially. Defaults to 4000.0 — a few thousand
+    units of work against a few worker wakeups of dispatch cost — or
+    [infinity] on a machine exposing a single hardware thread, where
+    domain fan-out can never reduce wall time. The [UXSM_PAR_THRESHOLD]
+    environment variable (a float >= 0, read per call) overrides the
+    default for calibration experiments. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val pool_width : unit -> int
+(** Current number of live pool workers (the high-water mark of helpers
+    any bulk call has needed so far); [0] before the first parallel call
+    and after {!shutdown}. *)
+
+val shutdown : unit -> unit
+(** Stop and join every pool worker. Registered [at_exit] automatically;
+    safe to call repeatedly, and the pool re-warms lazily if a parallel
+    bulk call happens afterwards. *)
+
+val map_array : ?cost_hint:float -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ?cost_hint t f a] is [Array.map f a], scheduled by [t] and
+    the cost gate (see above). [f] must be safe to call from any domain
+    (pure up to domain-safe effects such as {!Uxsm_obs} counters); items
+    may run in any order and concurrently. The result is in index order
+    regardless of backend. *)
+
+val map_list : ?cost_hint:float -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** List analogue of {!map_array}; preserves list order. *)
 
 val map_reduce :
+  ?cost_hint:float ->
   t -> map:('a -> 'b) -> fold:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
 (** [map_reduce t ~map ~fold ~init a] maps in parallel, then folds the
     mapped results {e sequentially in index order} in the calling domain —

@@ -18,8 +18,10 @@ val generate :
 (** [generate ~h u] — the top-h possible mappings of matching [u] (fewer if
     the space is smaller), probabilities normalized over the set. Default
     method: [Partitioned]. [exec] (default sequential) parallelizes the
-    per-component ranking of the [Partitioned] method; the resulting set is
-    identical for every backend. *)
+    per-component ranking of the [Partitioned] method, which sizes the
+    ranking job ([h] times the edge count) for the executor's cost gate —
+    small matchings stay sequential even under [Domains]. The resulting
+    set is identical for every backend and gate decision. *)
 
 val of_mappings : Matching.t -> (Mapping.t * float) list -> t
 (** Build from explicit mappings and probabilities (e.g. the paper's

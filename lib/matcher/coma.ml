@@ -58,11 +58,18 @@ let memoized_name_sim cfg =
    matrix when sequential; parallel rows each get their own ([Hashtbl] is
    not domain-safe). Scores are pure in the labels, so memo placement never
    changes a value. *)
+(* One (source, target) pair costs several similarity evaluations (name
+   plus the strategy's structural terms), each walking labels and paths —
+   order tens of node-visit-equivalent units. Sizes the matrix job for
+   the executor's parallelism gate. *)
+let pair_units = 20.0
+
 let score_matrix ?(exec = Executor.sequential) cfg source target =
   let ns = Schema.size source and nt = Schema.size target in
   let shared = if Executor.is_parallel exec then None else Some (memoized_name_sim cfg) in
+  let cost_hint = float_of_int (ns * nt) *. pair_units in
   let rows =
-    Executor.map_array exec
+    Executor.map_array ~cost_hint exec
       (fun x ->
         let name_sim =
           match shared with

@@ -70,7 +70,9 @@ let span name =
     Hashtbl.add spans_tbl name s;
     s
 
-let now () = Unix.gettimeofday ()
+(* Span durations are elapsed-time measurements: the monotonic clock keeps
+   them immune to NTP steps mid-run. *)
+let now () = Uxsm_util.Timing.now_mono ()
 
 (* [Atomic] has no float fetch-and-add; a CAS loop is enough for the rare
    outermost-span completion (never on the per-event fast path). *)

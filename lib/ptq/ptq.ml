@@ -151,12 +151,15 @@ let coverage_of ctx (res : Resolve.t array) =
 (* Algorithm 3 over a precomputed coverage table. Mappings are independent
    of each other (the context is read-only during evaluation), so the outer
    loop fans out on the context's executor; results come back in coverage
-   order, so answers are identical across backends. *)
-let query_basic_cov ctx idx (res : Resolve.t array) cov =
+   order, so answers are identical across backends. [cost_hint] is the
+   plan's per-mapping estimate in node-visit units — the executor's cost
+   gate keeps evaluations too small to amortize a pool dispatch
+   sequential. *)
+let query_basic_cov ?cost_hint ctx idx (res : Resolve.t array) cov =
   Obs.time s_basic (fun () ->
       let per_mapping : (int, Binding.t list) Hashtbl.t = Hashtbl.create 64 in
       let evaluated =
-        Executor.map_list ctx.exec
+        Executor.map_list ?cost_hint ctx.exec
           (fun (i, covered) ->
             let m = Mapping_set.mapping ctx.mset i in
             Obs.add c_direct (List.length covered);
@@ -302,8 +305,10 @@ let eval_with_tree ctx tree idx resolution ~mids =
   eval 0 ~at_top:true mids
 
 (* Algorithm 4 over a precomputed coverage table: one [eval_with_tree] per
-   resolution, restricted to the mappings that cover it. *)
-let query_tree_cov ctx idx (res : Resolve.t array) cov =
+   resolution, restricted to the mappings that cover it. [cost_hint] is
+   the plan's per-block estimate, gating the fan-out like in
+   [query_basic_cov]. *)
+let query_tree_cov ?cost_hint ctx idx (res : Resolve.t array) cov =
   let tree =
     match ctx.tree with
     | Some t -> t
@@ -316,7 +321,7 @@ let query_tree_cov ctx idx (res : Resolve.t array) cov =
          below runs sequentially in resolution order, reproducing the
          sequential accumulation exactly. *)
       let tables =
-        Executor.map_array ctx.exec
+        Executor.map_array ?cost_hint ctx.exec
           (fun r ->
             let mids =
               List.filter_map
@@ -401,9 +406,19 @@ let physical p = p.p_phys
 let execute p =
   Obs.incr c_queries;
   Obs.incr c_executions;
+  (* The cost model already sized this exact evaluation for the evaluator
+     choice; the same units feed the executor's parallelism gate. *)
+  let cost = p.p_phys.Plan.cost in
   match p.p_phys.Plan.evaluator with
-  | Plan.Per_mapping -> query_basic_cov p.p_ctx p.p_idx p.p_res p.p_cov
-  | Plan.Per_block -> query_tree_cov p.p_ctx p.p_idx p.p_res p.p_cov
+  | Plan.Per_mapping ->
+    query_basic_cov ~cost_hint:cost.Plan.per_mapping p.p_ctx p.p_idx p.p_res p.p_cov
+  | Plan.Per_block ->
+    let cost_hint =
+      match cost.Plan.per_block with
+      | Some c -> c
+      | None -> cost.Plan.per_mapping
+    in
+    query_tree_cov ~cost_hint p.p_ctx p.p_idx p.p_res p.p_cov
 
 let query ?(force = `Auto) ctx pattern = execute (compile ~force ctx pattern)
 let query_basic ctx pattern = query ~force:`Basic ctx pattern

@@ -219,6 +219,7 @@ let handle_line t line = respond_parsed t (Protocol.parse_line line)
    because they mutate catalog state or stop the server. A run of one
    request is handled inline — inside a pool worker the nested-fanout
    guard would rob it of its own per-request parallelism. *)
+let batch_request_units = 2000.0
 let handle_lines t lines =
   let parsed = List.map Protocol.parse_line lines in
   let pure = function
@@ -237,7 +238,14 @@ let handle_lines t lines =
       let resps =
         match run with
         | [ p ] -> [ respond_parsed t p ]
-        | _ when Executor.is_parallel t.exec -> Executor.map_list t.exec (respond_parsed t) run
+        | _ when Executor.is_parallel t.exec ->
+          (* A pure request normally compiles or replays a whole query
+             plan — thousands of node-visit units — so size the batch
+             accordingly for the executor's gate: pairs of requests
+             already clear a multi-core break-even, while single-request
+             batches never reach here (handled inline above). *)
+          let cost_hint = float_of_int (List.length run) *. batch_request_units in
+          Executor.map_list ~cost_hint t.exec (respond_parsed t) run
         | _ -> List.map (respond_parsed t) run
       in
       go (List.rev_append resps acc) rest

@@ -1,0 +1,33 @@
+/* Monotonic clock source for Uxsm_util.Timing.now_mono.
+ *
+ * Every elapsed-time measurement in the repo goes through this one
+ * function: CLOCK_MONOTONIC is immune to NTP steps and manual clock
+ * changes, which would otherwise corrupt durations recorded into the
+ * committed BENCH_<rev>.json trajectory mid-run. Unix.gettimeofday
+ * remains in use only for calendar timestamps (record stamping). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+CAMLprim value uxsm_timing_monotonic_now(value unit)
+{
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_double((double)count.QuadPart / (double)freq.QuadPart);
+}
+
+#else
+
+CAMLprim value uxsm_timing_monotonic_now(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}
+
+#endif

@@ -17,6 +17,17 @@ module Ptq = Uxsm_ptq.Ptq
 
 let par = Executor.domains 3
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* The suite runs with UXSM_PAR_THRESHOLD=0 (see test/main.ml); gate tests
+   set their own threshold and always restore the suite-wide zero. *)
+let with_threshold v f =
+  Unix.putenv "UXSM_PAR_THRESHOLD" v;
+  Fun.protect ~finally:(fun () -> Unix.putenv "UXSM_PAR_THRESHOLD" "0") f
+
 (* ------------------------- Executor semantics --------------------- *)
 
 let test_construction () =
@@ -56,6 +67,44 @@ let test_jobs_of_env () =
   with_env None (fun () ->
       Alcotest.(check int) "empty value falls back" 2 (Executor.jobs_of_env ~default:2 ()))
 
+let test_jobs_of_env_warns () =
+  (* A rejected UXSM_JOBS must not be silently coerced: the fallback stays,
+     but one warning names the offending value so operator typos surface. *)
+  let with_env v f =
+    Unix.putenv "UXSM_JOBS" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "UXSM_JOBS" "") f
+  in
+  let warnings = ref [] in
+  let warn m = warnings := m :: !warnings in
+  with_env "four" (fun () ->
+      Alcotest.(check int) "typo falls back to default" 3
+        (Executor.jobs_of_env ~default:3 ~warn ());
+      Alcotest.(check int) "exactly one warning" 1 (List.length !warnings);
+      Alcotest.(check bool) "warning names the rejected value" true
+        (contains (List.hd !warnings) "\"four\""));
+  with_env "0" (fun () ->
+      Alcotest.(check int) "zero falls back" 1 (Executor.jobs_of_env ~warn ());
+      Alcotest.(check bool) "zero is warned about too" true
+        (contains (List.hd !warnings) "\"0\""));
+  with_env "-2" (fun () ->
+      ignore (Executor.jobs_of_env ~warn ());
+      Alcotest.(check int) "three warnings so far" 3 (List.length !warnings));
+  let before = List.length !warnings in
+  with_env "4" (fun () ->
+      Alcotest.(check int) "valid value accepted" 4 (Executor.jobs_of_env ~warn ()));
+  with_env "" (fun () ->
+      Alcotest.(check int) "unset stays silent" 1 (Executor.jobs_of_env ~warn ()));
+  Alcotest.(check int) "no warning for valid or unset values" before (List.length !warnings);
+  (* CLI precedence: the env var only seeds the --jobs default (the bench
+     and every subcommand initialize the option with [jobs_of_env]); an
+     explicit flag overwrites it even when the env var is valid. *)
+  with_env "2" (fun () ->
+      let jobs = ref (Executor.jobs_of_env ~warn ()) in
+      Alcotest.(check int) "env seeds the default" 2 !jobs;
+      jobs := 4 (* --jobs 4 parsed *);
+      Alcotest.(check int) "explicit flag beats the env var" 4
+        (Executor.jobs (Executor.of_jobs !jobs)))
+
 let test_map_ordering () =
   let input = Array.init 500 Fun.id in
   let f i = (i * i) - (3 * i) in
@@ -86,20 +135,135 @@ exception Boom of int
 
 let test_exceptions_propagate () =
   let input = Array.init 100 Fun.id in
+  (* The raise lands mid-chunk (chunks cover several consecutive indices),
+     so this also exercises the abort path inside a chunk. *)
   (match Executor.map_array par (fun i -> if i = 57 then raise (Boom i) else i) input with
   | _ -> Alcotest.fail "expected the worker exception to re-raise"
   | exception Boom 57 -> ());
-  (* The pool is joined and reusable after a failure. *)
+  (* The pool workers park again and are reusable after a failure. *)
   Alcotest.(check bool) "executor still works after a failure" true
     (Executor.map_array par Fun.id input = input)
+
+(* The raise site the backtrace must keep pointing at. *)
+let[@inline never] deep_raise () = raise (Boom 99)
+
+let test_exception_backtrace_preserved () =
+  (* Regression: the executor used to re-raise with bare [raise], which
+     rewrites the backtrace to the executor's own re-raise line. The catch
+     site now captures the worker's raw backtrace and restores it with
+     [Printexc.raise_with_backtrace], so the original raise site survives
+     a Domains run. *)
+  let previously = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace previously)
+    (fun () ->
+      let input = Array.init 64 Fun.id in
+      match Executor.map_array par (fun i -> if i = 13 then deep_raise () else i) input with
+      | _ -> Alcotest.fail "expected the worker exception to re-raise"
+      | exception Boom 99 ->
+        let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+        Alcotest.(check bool)
+          (Printf.sprintf "backtrace keeps the original raise site (got: %s)" bt)
+          true
+          (contains bt "test_exec"))
 
 let test_nested_fanout_degrades () =
   (* A parallel map whose items issue parallel maps themselves must not
      spawn recursively — and must still compute the right thing. *)
+  let nested = Obs.counter "exec.nested_sequential" in
+  let spawned = Obs.counter "exec.domains_spawned" in
+  let n0 = Obs.value nested and s0 = Obs.value spawned in
+  let w0 = Executor.pool_width () in
   let inner i = Executor.map_list par (fun j -> i + j) [ 1; 2; 3 ] in
   let got = Executor.map_list par inner [ 10; 20; 30; 40 ] in
   Alcotest.(check bool) "nested results correct" true
-    (got = [ [ 11; 12; 13 ]; [ 21; 22; 23 ]; [ 31; 32; 33 ]; [ 41; 42; 43 ] ])
+    (got = [ [ 11; 12; 13 ]; [ 21; 22; 23 ]; [ 31; 32; 33 ]; [ 41; 42; 43 ] ]);
+  Alcotest.(check bool) "inner fan-outs degraded to sequential" true (Obs.value nested > n0);
+  (* Only the outer call may have grown the pool (to at most two helpers
+     for [domains 3]); the nested calls never spawn. *)
+  Alcotest.(check bool) "no recursive spawning" true
+    (Obs.value spawned - s0 <= max 0 (2 - w0))
+
+(* ------------------------- warm pool lifecycle -------------------- *)
+
+let test_warm_pool_reuse () =
+  let spawned = Obs.counter "exec.domains_spawned" in
+  let parallel = Obs.counter "exec.parallel_calls" in
+  let tasks = Obs.counter "exec.tasks" in
+  let chunks = Obs.counter "exec.chunks" in
+  let input = Array.init 300 Fun.id in
+  let f i = (i * 7) - 1 in
+  let expect = Array.map f input in
+  (* The first call may grow the pool; every later call must reuse it. *)
+  ignore (Executor.map_array par f input);
+  let s1 = Obs.value spawned and p1 = Obs.value parallel in
+  let t1 = Obs.value tasks and k1 = Obs.value chunks in
+  let w1 = Executor.pool_width () in
+  Alcotest.(check bool) "pool is warm after a parallel call" true (w1 >= 1);
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "warm-call results correct" true
+      (Executor.map_array par f input = expect)
+  done;
+  Alcotest.(check int) "exec.domains_spawned stays flat across warm calls" s1
+    (Obs.value spawned);
+  Alcotest.(check int) "pool width unchanged" w1 (Executor.pool_width ());
+  Alcotest.(check int) "five more parallel calls" (p1 + 5) (Obs.value parallel);
+  Alcotest.(check int) "every item accounted as a task" (t1 + (5 * 300)) (Obs.value tasks);
+  Alcotest.(check bool) "work was handed out in chunks, not per item" true
+    (Obs.value chunks - k1 < 5 * 300 && Obs.value chunks > k1)
+
+let test_cost_gate () =
+  let gate = Obs.counter "exec.sequential_by_gate" in
+  let spawned = Obs.counter "exec.domains_spawned" in
+  let parallel = Obs.counter "exec.parallel_calls" in
+  let input = Array.init 64 Fun.id in
+  let f i = i + 1 in
+  let expect = Array.map f input in
+  with_threshold "1000000" (fun () ->
+      Alcotest.(check (float 0.0)) "threshold read from the environment" 1000000.0
+        (Executor.parallel_threshold ());
+      let g0 = Obs.value gate and s0 = Obs.value spawned and p0 = Obs.value parallel in
+      Alcotest.(check bool) "gated call computes the same result" true
+        (Executor.map_array ~cost_hint:999.0 par f input = expect);
+      Alcotest.(check int) "below-threshold hint degrades to sequential" (g0 + 1)
+        (Obs.value gate);
+      Alcotest.(check int) "no spawns for a gated call" s0 (Obs.value spawned);
+      Alcotest.(check int) "no parallel call for a gated call" p0 (Obs.value parallel);
+      Alcotest.(check bool) "above-threshold hint fans out" true
+        (Executor.map_array ~cost_hint:2e6 par f input = expect);
+      Alcotest.(check int) "the fan-out is a parallel call" (p0 + 1) (Obs.value parallel);
+      Alcotest.(check int) "the gate counter is untouched above threshold" (g0 + 1)
+        (Obs.value gate);
+      let p1 = Obs.value parallel in
+      Alcotest.(check bool) "hint-less calls are never gated" true
+        (Executor.map_array par f input = expect);
+      Alcotest.(check int) "hint-less call fanned out" (p1 + 1) (Obs.value parallel))
+
+let test_shutdown_and_rewarm () =
+  ignore (Executor.map_array par Fun.id (Array.init 100 Fun.id));
+  Alcotest.(check bool) "pool warm before shutdown" true (Executor.pool_width () > 0);
+  Executor.shutdown ();
+  Alcotest.(check int) "shutdown joins every worker" 0 (Executor.pool_width ());
+  Executor.shutdown ();
+  (* idempotent *)
+  let spawned = Obs.counter "exec.domains_spawned" in
+  let s0 = Obs.value spawned in
+  let input = Array.init 50 Fun.id in
+  Alcotest.(check bool) "pool re-warms transparently after shutdown" true
+    (Executor.map_array par string_of_int input = Array.map string_of_int input);
+  Alcotest.(check bool) "re-warming spawned fresh workers" true
+    (Obs.value spawned > s0 && Executor.pool_width () > 0)
+
+let prop_chunked_map_eq_sequential =
+  (* Chunk boundaries move with the item count and pool width; whatever the
+     combination, the merged result is bit-identical to Array.map. *)
+  QCheck.Test.make ~count:300 ~name:"map_array chunked Domains = Sequential (any size x pool)"
+    QCheck.(triple (int_range 0 257) (int_range 2 9) small_int)
+    (fun (len, pool, salt) ->
+      let arr = Array.init len (fun i -> i + salt) in
+      let f x = (x * 31) lxor (x lsr 2) in
+      Executor.map_array (Executor.domains pool) f arr = Array.map f arr)
 
 (* ----------------------- Obs under parallelism -------------------- *)
 
@@ -242,12 +406,19 @@ let suite =
   [
     Alcotest.test_case "executor construction" `Quick test_construction;
     Alcotest.test_case "UXSM_JOBS default" `Quick test_jobs_of_env;
+    Alcotest.test_case "UXSM_JOBS rejection warns" `Quick test_jobs_of_env_warns;
     Alcotest.test_case "map ordering across backends" `Quick test_map_ordering;
     Alcotest.test_case "map_reduce folds in index order" `Quick test_map_reduce_deterministic;
     Alcotest.test_case "worker exceptions propagate" `Quick test_exceptions_propagate;
+    Alcotest.test_case "worker backtrace survives re-raise" `Quick
+      test_exception_backtrace_preserved;
     Alcotest.test_case "nested fan-out degrades to sequential" `Quick
       test_nested_fanout_degrades;
+    Alcotest.test_case "warm pool reuse across bulk calls" `Quick test_warm_pool_reuse;
+    Alcotest.test_case "cost gate degrades small jobs" `Quick test_cost_gate;
+    Alcotest.test_case "shutdown joins and the pool re-warms" `Quick test_shutdown_and_rewarm;
     Alcotest.test_case "Obs totals under parallel fan-out" `Quick test_parallel_counter_totals;
+    q prop_chunked_map_eq_sequential;
     q prop_partition_domains_eq_sequential;
     q prop_ptq_domains_eq_sequential;
     q prop_plan_execution_eq_query_basic;
