@@ -503,8 +503,23 @@ let keyword_cmd =
 
 (* ------------------------------- serve ---------------------------- *)
 
+(* [HOST:]PORT — plain PORT listens on 127.0.0.1. *)
+let tcp_endpoint_of_string s =
+  let host, port_s =
+    match String.rindex_opt s ':' with
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> ("127.0.0.1", s)
+  in
+  match int_of_string_opt port_s with
+  | Some p when p >= 0 && p < 65536 && host <> "" -> Ok (host, p)
+  | _ -> Error (`Msg (Printf.sprintf "expected [HOST:]PORT, got %S" s))
+
+let tcp_conv =
+  Arg.conv
+    (tcp_endpoint_of_string, fun fmt (h, p) -> Format.fprintf fmt "%s:%d" h p)
+
 let serve_cmd =
-  let run socket stdio jobs cache_entries corpora seed =
+  let run socket tcp stdio max_queue jobs cache_entries corpora seed =
     let module Server = Uxsm_server.Server in
     let module Protocol = Uxsm_server.Protocol in
     let srv = Server.create ~cache_entries ~exec:(Executor.of_jobs jobs) () in
@@ -521,18 +536,45 @@ let serve_cmd =
     List.iter register corpora;
     if stdio then Server.serve_channels srv stdin stdout
     else
-      match socket with
-      | None ->
-        prerr_endline "serve: need --socket PATH (or --stdio)";
+      let endpoints =
+        (match socket with None -> [] | Some p -> [ Server.Unix_socket p ])
+        @ match tcp with None -> [] | Some (h, p) -> [ Server.Tcp (h, p) ]
+      in
+      match endpoints with
+      | [] ->
+        prerr_endline "serve: need --socket PATH and/or --tcp [HOST:]PORT (or --stdio)";
         exit 2
-      | Some path ->
-        Printf.eprintf "uxsm serve: listening on %s (--jobs %d)\n%!" path jobs;
-        Server.serve_unix srv ~socket_path:path;
+      | _ ->
+        let ready addrs =
+          List.iter
+            (fun addr ->
+              let where =
+                match addr with
+                | Unix.ADDR_UNIX path -> path
+                | Unix.ADDR_INET (host, port) ->
+                  Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+              in
+              Printf.eprintf "uxsm serve: listening on %s (--jobs %d)\n%!" where jobs)
+            addrs
+        in
+        Server.serve ~max_queue ~ready srv endpoints;
         Printf.eprintf "uxsm serve: drained, shutting down\n%!"
   in
   let socket =
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
            ~doc:"Unix domain socket to listen on (created; removed on shutdown).")
+  in
+  let tcp =
+    Arg.(value & opt (some tcp_conv) None & info [ "tcp" ] ~docv:"[HOST:]PORT"
+           ~doc:"TCP endpoint to listen on (default host 127.0.0.1; port 0 picks an \
+                 ephemeral port, printed on stderr). May be combined with \
+                 $(b,--socket) to serve both transports.")
+  in
+  let max_queue =
+    Arg.(value & opt int 256 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission-queue bound shared by all connections; a request arriving \
+                 when the queue is full is rejected immediately with a structured \
+                 'overloaded' error instead of being executed.")
   in
   let stdio =
     Arg.(value & flag & info [ "stdio" ]
@@ -565,15 +607,18 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the long-lived query service: line-delimited JSON requests over a Unix \
-             domain socket (or stdio), with an LRU cache of prepared artifacts so \
-             repeated queries skip matching, ranking and block-tree construction. \
-             See DESIGN.md section 10 for the protocol.")
-    Term.(const run $ socket $ stdio $ jobs_arg $ cache_entries $ corpora $ seed_arg)
+             domain socket and/or TCP (or stdio), serving many connections \
+             concurrently over one bounded dispatch queue and the warm domain pool, \
+             with a per-corpus LRU cache of prepared artifacts so repeated queries \
+             skip matching, ranking and block-tree construction. See DESIGN.md \
+             sections 10 and 13 for the protocol and the connection model.")
+    Term.(const run $ socket $ tcp $ stdio $ max_queue $ jobs_arg $ cache_entries
+          $ corpora $ seed_arg)
 
 (* ------------------------------- client --------------------------- *)
 
 let client_cmd =
-  let run socket requests =
+  let run socket tcp requests =
     let requests =
       match requests with
       | [ "-" ] ->
@@ -589,10 +634,40 @@ let client_cmd =
       prerr_endline "client: no requests";
       exit 2
     end;
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+    let target =
+      match (socket, tcp) with
+      | Some path, None -> `Unix path
+      | None, Some (host, port) -> `Tcp (host, port)
+      | _ ->
+        prerr_endline "client: need exactly one of --socket PATH or --tcp HOST:PORT";
+        exit 2
+    in
+    let fd =
+      match target with
+      | `Unix _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+      | `Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+    in
+    let addr, shown =
+      match target with
+      | `Unix path -> (Unix.ADDR_UNIX path, path)
+      | `Tcp (host, port) -> (
+        let resolved =
+          match Unix.inet_addr_of_string host with
+          | a -> Some a
+          | exception Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> Some addrs.(0)
+            | _ | (exception Not_found) -> None)
+        in
+        match resolved with
+        | Some a -> (Unix.ADDR_INET (a, port), Printf.sprintf "%s:%d" host port)
+        | None ->
+          Printf.eprintf "cannot resolve host %S\n" host;
+          exit 1)
+    in
+    (try Unix.connect fd addr
      with Unix.Unix_error (e, _, _) ->
-       Printf.eprintf "cannot connect to %s: %s\n" socket (Unix.error_message e);
+       Printf.eprintf "cannot connect to %s: %s\n" shown (Unix.error_message e);
        exit 1);
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
@@ -619,8 +694,13 @@ let client_cmd =
     if !failures > 0 then exit 3
   in
   let socket =
-    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
            ~doc:"Unix domain socket of a running $(b,uxsm serve).")
+  in
+  let tcp =
+    Arg.(value & opt (some tcp_conv) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"TCP endpoint of a running $(b,uxsm serve) (alternative to \
+                 $(b,--socket)).")
   in
   let requests =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"REQUEST"
@@ -631,7 +711,7 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send requests to a running $(b,uxsm serve) and print one JSON reply per \
              line. Exits non-zero if any reply is an error.")
-    Term.(const run $ socket $ requests)
+    Term.(const run $ socket $ tcp $ requests)
 
 let () =
   let info =

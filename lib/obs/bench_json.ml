@@ -13,6 +13,7 @@ type experiment = {
   e_measurements : measurement list;
   e_counters : (string * int) list;
   e_spans : (string * (int * float)) list;
+  e_histograms : (string * Obs.hist_view) list;
 }
 
 type run = {
@@ -28,7 +29,7 @@ let experiment ?(params = []) ?(measurements = []) ?snapshot ~id ~title ~wall_se
   let snap =
     match snapshot with
     | Some s -> Obs.nonzero s
-    | None -> { Obs.snap_counters = []; snap_spans = [] }
+    | None -> { Obs.snap_counters = []; snap_spans = []; snap_histograms = [] }
   in
   {
     e_id = id;
@@ -38,6 +39,7 @@ let experiment ?(params = []) ?(measurements = []) ?snapshot ~id ~title ~wall_se
     e_measurements = measurements;
     e_counters = snap.Obs.snap_counters;
     e_spans = snap.Obs.snap_spans;
+    e_histograms = snap.Obs.snap_histograms;
   }
 
 (* ------------------------------ to JSON --------------------------- *)
@@ -45,22 +47,41 @@ let experiment ?(params = []) ?(measurements = []) ?snapshot ~id ~title ~wall_se
 let measurement_to_json m =
   Json.Assoc [ ("name", Json.String m.m_name); ("seconds_per_run", Json.Float m.m_seconds_per_run) ]
 
-let experiment_to_json e =
+let hist_view_to_json (v : Obs.hist_view) =
   Json.Assoc
     [
-      ("id", Json.String e.e_id);
-      ("title", Json.String e.e_title);
-      ("params", Json.Assoc e.e_params);
-      ("wall_seconds", Json.Float e.e_wall_seconds);
-      ("measurements", Json.List (List.map measurement_to_json e.e_measurements));
-      ("counters", Json.Assoc (List.map (fun (n, v) -> (n, Json.Int v)) e.e_counters));
-      ( "spans",
-        Json.Assoc
+      ("count", Json.Int v.Obs.hv_count);
+      ("sum", Json.Float v.Obs.hv_sum);
+      ( "buckets",
+        Json.List
           (List.map
-             (fun (n, (c, s)) ->
-               (n, Json.Assoc [ ("count", Json.Int c); ("seconds", Json.Float s) ]))
-             e.e_spans) );
+             (fun (b, c) -> Json.List [ Json.Float b; Json.Int c ])
+             v.Obs.hv_buckets) );
+      ("overflow", Json.Int v.Obs.hv_overflow);
     ]
+
+let experiment_to_json e =
+  Json.Assoc
+    ([
+       ("id", Json.String e.e_id);
+       ("title", Json.String e.e_title);
+       ("params", Json.Assoc e.e_params);
+       ("wall_seconds", Json.Float e.e_wall_seconds);
+       ("measurements", Json.List (List.map measurement_to_json e.e_measurements));
+       ("counters", Json.Assoc (List.map (fun (n, v) -> (n, Json.Int v)) e.e_counters));
+       ( "spans",
+         Json.Assoc
+           (List.map
+              (fun (n, (c, s)) ->
+                (n, Json.Assoc [ ("count", Json.Int c); ("seconds", Json.Float s) ]))
+              e.e_spans) );
+     ]
+    (* Absent when empty, so pre-histogram records and new ones with no
+       histogram traffic stay byte-for-byte in the old shape. *)
+    @
+    match e.e_histograms with
+    | [] -> []
+    | hs -> [ ("histograms", Json.Assoc (List.map (fun (n, v) -> (n, hist_view_to_json v)) hs)) ])
 
 let run_to_json r =
   Json.Assoc
@@ -102,6 +123,21 @@ let measurement_of_json j =
 let span_of_json name j =
   (name, (get "int" Json.to_int "count" j, num "seconds" j))
 
+let hist_view_of_json name j =
+  let bucket = function
+    | Json.List [ b; c ] -> (
+      match (Json.to_float b, Json.to_int c) with
+      | Some b, Some c -> (b, c)
+      | _ -> failf "histogram %S has a malformed bucket" name)
+    | _ -> failf "histogram %S has a malformed bucket" name
+  in
+  {
+    Obs.hv_count = get "int" Json.to_int "count" j;
+    hv_sum = num "sum" j;
+    hv_buckets = List.map bucket (items "buckets" j);
+    hv_overflow = get "int" Json.to_int "overflow" j;
+  }
+
 let experiment_of_json j =
   {
     e_id = str "id" j;
@@ -117,6 +153,14 @@ let experiment_of_json j =
           | None -> failf "counter %S is not an int" n)
         (fields "counters" j);
     e_spans = List.map (fun (n, v) -> span_of_json n v) (fields "spans" j);
+    e_histograms =
+      (* Optional: records written before histograms existed carry none. *)
+      (match Json.member "histograms" j with
+      | None -> []
+      | Some h -> (
+        match Json.to_assoc h with
+        | Some hs -> List.map (fun (n, v) -> (n, hist_view_of_json n v)) hs
+        | None -> failf "field \"histograms\" is not an object"));
   }
 
 (* Executor fields are optional on parse: pre-executor records (PR 1's

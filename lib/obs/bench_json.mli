@@ -23,6 +23,11 @@ type experiment = {
   e_measurements : measurement list;  (** in emission order *)
   e_counters : (string * int) list;  (** nonzero {!Obs} counters *)
   e_spans : (string * (int * float)) list;  (** nonzero spans: count, seconds *)
+  e_histograms : (string * Obs.hist_view) list;
+      (** nonzero {!Obs} histograms (e.g. server latency distributions);
+          records written before histograms existed parse as []. The JSON
+          field is omitted when empty, so old records round-trip
+          byte-identically. *)
 }
 
 type run = {

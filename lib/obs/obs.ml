@@ -103,6 +103,130 @@ let time s f =
 let span_count s = Atomic.get s.s_count
 let span_seconds s = Atomic.get s.s_seconds
 
+(* ----------------------------- histograms -------------------------- *)
+(* Fixed log-2 buckets shared by every histogram: upper bounds 2^-20 ..
+   2^20 (roughly 1µs .. 12 days when the unit is seconds, or 0..10^6 for
+   dimensionless gauges such as queue depths), plus one overflow bucket.
+   Fixed bounds make concurrent observation a single fetch-and-add per
+   event and make any two views mergeable bucket-by-bucket. *)
+
+let hist_bucket_count = 41
+
+(* lint: allow domain-unsafe — write-once bucket-bound table, read-only after init *)
+let hist_bounds = Array.init hist_bucket_count (fun i -> 2.0 ** float_of_int (i - 20))
+
+let bucket_index v =
+  let rec go i =
+    if i >= hist_bucket_count then hist_bucket_count (* overflow *)
+    else if v <= hist_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+type histogram = {
+  h_name : string;
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_buckets : int Atomic.t array;  (* hist_bucket_count + 1: last = overflow *)
+}
+
+(* lint: allow domain-unsafe — registry table is only touched under registry_mutex *)
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  with_registry @@ fun () ->
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_count = Atomic.make 0;
+        h_sum = Atomic.make 0.0;
+        h_buckets = Array.init (hist_bucket_count + 1) (fun _ -> Atomic.make 0);
+      }
+    in
+    Hashtbl.add histograms_tbl name h;
+    h
+
+let observe h v =
+  Atomic.incr h.h_count;
+  atomic_add_float h.h_sum v;
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index v) 1)
+
+let histogram_name h = h.h_name
+let histogram_count h = Atomic.get h.h_count
+
+type hist_view = {
+  hv_count : int;
+  hv_sum : float;
+  hv_buckets : (float * int) list;
+  hv_overflow : int;
+}
+
+let histogram_view h =
+  (* Count first: a concurrent [observe] between the two reads can only
+     make buckets sum to ≥ hv_count, never lose an observed event. *)
+  let count = Atomic.get h.h_count in
+  let sum = Atomic.get h.h_sum in
+  let buckets = ref [] in
+  for i = hist_bucket_count - 1 downto 0 do
+    let c = Atomic.get h.h_buckets.(i) in
+    if c > 0 then buckets := (hist_bounds.(i), c) :: !buckets
+  done;
+  {
+    hv_count = count;
+    hv_sum = sum;
+    hv_buckets = !buckets;
+    hv_overflow = Atomic.get h.h_buckets.(hist_bucket_count);
+  }
+
+let merge_views a b =
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | (bx, cx) :: xs', (by, cy) :: ys' ->
+      let c = Float.compare bx by in
+      if c = 0 then (bx, cx + cy) :: merge xs' ys'
+      else if c < 0 then (bx, cx) :: merge xs' ys
+      else (by, cy) :: merge xs ys'
+  in
+  {
+    hv_count = a.hv_count + b.hv_count;
+    hv_sum = a.hv_sum +. b.hv_sum;
+    hv_buckets = merge a.hv_buckets b.hv_buckets;
+    hv_overflow = a.hv_overflow + b.hv_overflow;
+  }
+
+let quantile view q =
+  if view.hv_count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int view.hv_count in
+    let rec walk cumulative = function
+      | [] ->
+        (* Rank falls in the overflow bucket: report the scale's edge. *)
+        (match List.rev view.hv_buckets with
+        | (bound, _) :: _ -> bound
+        | [] -> hist_bounds.(hist_bucket_count - 1))
+      | (bound, c) :: rest ->
+        let cumulative' = cumulative +. float_of_int c in
+        if cumulative' >= rank then begin
+          (* Interpolate inside the bucket; its lower edge is bound/2 by
+             the log-2 construction (0 would be exact only for the very
+             first bucket — close enough for an estimate). *)
+          let lo = bound /. 2.0 in
+          let frac =
+            if c = 0 then 1.0
+            else Float.max 0.0 (Float.min 1.0 ((rank -. cumulative) /. float_of_int c))
+          in
+          lo +. (frac *. (bound -. lo))
+        end
+        else walk cumulative' rest
+    in
+    walk 0.0 view.hv_buckets
+  end
+
 let reset () =
   with_registry @@ fun () ->
   (* lint: allow nondet-iter — zeroing every counter is order-independent *)
@@ -122,7 +246,14 @@ let reset () =
          when they finish.) *)
       let l = Domain.DLS.get s.s_local in
       if l.depth > 0 then l.started <- t)
-    spans_tbl
+    spans_tbl;
+  (* lint: allow nondet-iter — zeroing every histogram is order-independent *)
+  Hashtbl.iter
+    (fun _ h ->
+      Atomic.set h.h_count 0;
+      Atomic.set h.h_sum 0.0;
+      Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+    histograms_tbl
 
 let sorted_assoc fold tbl =
   Hashtbl.fold fold tbl [] |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -137,17 +268,24 @@ let spans () =
     (fun name s acc -> (name, (Atomic.get s.s_count, Atomic.get s.s_seconds)) :: acc)
     spans_tbl
 
+let histograms () =
+  with_registry @@ fun () ->
+  sorted_assoc (fun name h acc -> (name, histogram_view h) :: acc) histograms_tbl
+
 type snapshot = {
   snap_counters : (string * int) list;
   snap_spans : (string * (int * float)) list;
+  snap_histograms : (string * hist_view) list;
 }
 
-let snapshot () = { snap_counters = counters (); snap_spans = spans () }
+let snapshot () =
+  { snap_counters = counters (); snap_spans = spans (); snap_histograms = histograms () }
 
 let nonzero snap =
   {
     snap_counters = List.filter (fun (_, v) -> v <> 0) snap.snap_counters;
     snap_spans = List.filter (fun (_, (n, _)) -> n <> 0) snap.snap_spans;
+    snap_histograms = List.filter (fun (_, v) -> v.hv_count <> 0) snap.snap_histograms;
   }
 
 let pp_snapshot fmt snap =
@@ -156,4 +294,10 @@ let pp_snapshot fmt snap =
   List.iter
     (fun (n, (c, s)) -> Format.fprintf fmt "%-42s %12d %10.3fms@ " n c (1000.0 *. s))
     snap.snap_spans;
+  List.iter
+    (fun (n, v) ->
+      Format.fprintf fmt "%-42s %12d p50=%.3fms p95=%.3fms p99=%.3fms@ " n v.hv_count
+        (1000.0 *. quantile v 0.50) (1000.0 *. quantile v 0.95)
+        (1000.0 *. quantile v 0.99))
+    snap.snap_histograms;
   Format.fprintf fmt "@]"

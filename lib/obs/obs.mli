@@ -53,9 +53,53 @@ val span_count : span -> int
 val span_seconds : span -> float
 (** Accumulated wall seconds since the last {!reset}. *)
 
+type histogram
+
+val histogram : string -> histogram
+(** Like {!counter}, for a named fixed-bucket histogram. Every histogram
+    shares one log-2 bucket scale (upper bounds [2^-20 .. 2^20], plus an
+    overflow bucket), so any two histograms — or views of the same
+    histogram taken on different domains — merge bucket-by-bucket. The
+    server uses them for request latencies in seconds
+    ([server.<op>.latency]) and dimensionless gauges (queue depth). *)
+
+val observe : histogram -> float -> unit
+(** Record one observation: one atomic count, one atomic sum update, one
+    atomic bucket increment — safe from any domain, no locking. Values
+    at or below the smallest bound land in the first bucket; values above
+    the largest bound land in the overflow bucket. *)
+
+val histogram_name : histogram -> string
+
+val histogram_count : histogram -> int
+(** Observations since the last {!reset}. *)
+
+type hist_view = {
+  hv_count : int;  (** total observations *)
+  hv_sum : float;  (** sum of observed values *)
+  hv_buckets : (float * int) list;
+      (** [(upper_bound, count)] for each nonzero finite bucket, in
+          ascending bound order *)
+  hv_overflow : int;  (** observations above the largest finite bound *)
+}
+
+val histogram_view : histogram -> hist_view
+(** A consistent-enough concurrent read: the count is read first, so a
+    racing {!observe} can only surface in the buckets, never vanish. *)
+
+val merge_views : hist_view -> hist_view -> hist_view
+(** Bucket-wise sum — valid because all histograms share one scale. *)
+
+val quantile : hist_view -> float -> float
+(** [quantile v q] estimates the [q]-quantile ([0..1], clamped) by linear
+    interpolation inside the bucket containing the rank; the error is
+    bounded by the log-2 bucket width (under 2x). [0.0] on an empty view;
+    ranks falling in the overflow bucket report the largest finite
+    bound. *)
+
 val reset : unit -> unit
-(** Zero every registered counter and span. Registration survives, so
-    handles stay valid and snapshots keep a stable shape.
+(** Zero every registered counter, span and histogram. Registration
+    survives, so handles stay valid and snapshots keep a stable shape.
 
     Safe while a span is active: the active [time]'s re-entrancy depth is
     untouched (it is execution state, not accounting state), and a span
@@ -69,9 +113,13 @@ val counters : unit -> (string * int) list
 val spans : unit -> (string * (int * float)) list
 (** Every registered span as [(name, (count, seconds))], sorted by name. *)
 
+val histograms : unit -> (string * hist_view) list
+(** Every registered histogram with its current view, sorted by name. *)
+
 type snapshot = {
   snap_counters : (string * int) list;  (** sorted by name *)
   snap_spans : (string * (int * float)) list;  (** sorted by name *)
+  snap_histograms : (string * hist_view) list;  (** sorted by name *)
 }
 
 val snapshot : unit -> snapshot
@@ -79,8 +127,8 @@ val snapshot : unit -> snapshot
     individual values are atomic reads. *)
 
 val nonzero : snapshot -> snapshot
-(** Drop zero counters and zero-count spans — the interesting part of a
-    snapshot after a run. *)
+(** Drop zero counters, zero-count spans and empty histograms — the
+    interesting part of a snapshot after a run. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 (** Human-readable rendering, one line per entry. *)

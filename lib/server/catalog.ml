@@ -64,26 +64,64 @@ type entry = {
   doc_nodes : int option;
 }
 
+(* One shard per corpus. Every cache key names exactly one corpus, so a
+   corpus's artifacts, its spec and the lock that guards their
+   construction live together: concurrent clients querying different
+   corpora touch different shards and never serialize against each other.
+   The spec is an atomic (readable by the corpora listing without the
+   shard lock); the LRU structure is owned by [sh_lock]. *)
+type shard = {
+  sh_lock : Mutex.t;
+  sh_cache : (key, artifact) Lru.t;
+  sh_entry : entry option Atomic.t;
+}
+
 type t = {
   exec : Executor.t;
-  corpora : (string, entry) Hashtbl.t;
-  cache : (key, artifact) Lru.t;
-  lock : Mutex.t;
+  lock : Mutex.t;  (** guards [shards] (the name → shard map), nothing else *)
+  shards : (string, shard) Hashtbl.t;
+  cache_entries : int;  (** per-shard LRU capacity *)
 }
 
 let create ?(cache_entries = 64) ~exec () =
-  {
-    exec;
-    corpora = Hashtbl.create 8;
-    cache = Lru.create ~capacity:cache_entries;
-    lock = Mutex.create ();
-  }
+  { exec; lock = Mutex.create (); shards = Hashtbl.create 8; cache_entries }
 
 let executor t = t.exec
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+(* Lock protocol: the global [t.lock] is only ever taken on its own (shard
+   lookup/creation, shard enumeration) and released before any shard lock
+   is acquired — so lock acquisition never nests and cannot deadlock.
+   Artifact builds run under the owning shard's lock only: concurrent
+   requests for the same corpus build once (the loser waits), requests for
+   different corpora build in parallel. *)
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let shard_find t name = with_lock t.lock (fun () -> Hashtbl.find_opt t.shards name)
+
+let shard_find_or_create t name =
+  with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.shards name with
+      | Some sh -> sh
+      | None ->
+        let sh =
+          {
+            sh_lock = Mutex.create ();
+            sh_cache = Lru.create ~capacity:t.cache_entries;
+            sh_entry = Atomic.make None;
+          }
+        in
+        Hashtbl.add t.shards name sh;
+        sh)
+
+(* Shards sorted by corpus name — the deterministic enumeration order every
+   aggregate below uses. *)
+let shards_sorted t =
+  with_lock t.lock (fun () ->
+      Hashtbl.fold (fun name sh acc -> (name, sh) :: acc) t.shards []
+      (* Corpus names are unique table keys, so this key alone is total. *)
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 exception Fail of string
 
@@ -95,15 +133,15 @@ let spec_description = function
   | Protocol.From_mapping_set_text _ -> "mapping-set text"
 
 (* ----------------------- cached artifact access -------------------- *)
-(* The [_locked] builders assume the catalog lock is held; the eviction
-   counter is reconciled after every cache write. *)
+(* The [_locked] builders assume the owning shard's lock is held; the
+   eviction counter is reconciled after every cache write. *)
 
-let mirror_evictions t before =
-  let after = (Lru.stats t.cache).Lru.evictions in
+let mirror_evictions sh before =
+  let after = (Lru.stats sh.sh_cache).Lru.evictions in
   if after > before then Obs.add c_evictions (after - before)
 
-let cache_get t key =
-  match Lru.find t.cache key with
+let cache_get sh key =
+  match Lru.find sh.sh_cache key with
   | Some a ->
     Obs.incr c_hits;
     Some a
@@ -111,13 +149,13 @@ let cache_get t key =
     Obs.incr c_misses;
     None
 
-let cache_put t key a =
-  let before = (Lru.stats t.cache).Lru.evictions in
-  Lru.put t.cache key a;
-  mirror_evictions t before
+let cache_put sh key a =
+  let before = (Lru.stats sh.sh_cache).Lru.evictions in
+  Lru.put sh.sh_cache key a;
+  mirror_evictions sh before
 
-let entry_locked t name =
-  match Hashtbl.find_opt t.corpora name with
+let entry_locked sh name =
+  match Atomic.get sh.sh_entry with
   | Some e -> e
   | None -> failf "unknown corpus %S (register it first)" name
 
@@ -133,53 +171,53 @@ let build_matching t (e : entry) =
     | Ok mset -> Mapping_set.matching mset
     | Error msg -> failf "bad mapping-set text: %s" msg)
 
-let matching_locked t name =
+let matching_locked t sh name =
   let key = K_matching name in
-  match cache_get t key with
+  match cache_get sh key with
   | Some (A_matching m) -> m
   | _ ->
-    let e = entry_locked t name in
+    let e = entry_locked sh name in
     let m = Obs.time s_build (fun () -> build_matching t e) in
-    cache_put t key (A_matching m);
+    cache_put sh key (A_matching m);
     m
 
-let doc_locked t name =
+let doc_locked t sh name =
   let key = K_doc name in
-  match cache_get t key with
+  match cache_get sh key with
   | Some (A_doc d) -> d
   | _ ->
-    let e = entry_locked t name in
-    let source = Matching.source (matching_locked t name) in
+    let e = entry_locked sh name in
+    let source = Matching.source (matching_locked t sh name) in
     let d =
       Obs.time s_build (fun () ->
           match e.doc_nodes with
           | Some n -> Gen_doc.generate ~seed:e.doc_seed ~target_nodes:n source
           | None -> Gen_doc.generate ~seed:e.doc_seed source)
     in
-    cache_put t key (A_doc d);
+    cache_put sh key (A_doc d);
     d
 
-let mset_locked t name ~h =
+let mset_locked t sh name ~h =
   let key = K_mset (name, h) in
-  match cache_get t key with
+  match cache_get sh key with
   | Some (A_mset s) -> s
   | _ ->
-    let m = matching_locked t name in
+    let m = matching_locked t sh name in
     let s = Obs.time s_build (fun () -> Mapping_set.generate ~exec:t.exec ~h m) in
-    cache_put t key (A_mset s);
+    cache_put sh key (A_mset s);
     s
 
-let tree_locked t name ~h ~tau =
+let tree_locked t sh name ~h ~tau =
   let key = K_tree (name, h, tau) in
-  match cache_get t key with
+  match cache_get sh key with
   | Some (A_tree (s, tr)) -> (s, tr)
   | _ ->
-    let s = mset_locked t name ~h in
+    let s = mset_locked t sh name ~h in
     let tr =
       Obs.time s_build (fun () ->
           Block_tree.build ~params:{ Block_tree.tau; max_b = 500; max_f = 500 } s)
     in
-    cache_put t key (A_tree (s, tr));
+    cache_put sh key (A_tree (s, tr));
     (s, tr)
 
 (* A compiled plan pins mapping set, tree and documents, so repeated
@@ -187,11 +225,11 @@ let tree_locked t name ~h ~tau =
    not just artifact construction. The key includes the forced evaluator:
    a forced plan and the auto plan for the same query are distinct
    artifacts. *)
-let plan_locked t name ~pattern ~h ~tau ~k ~force =
+let plan_locked t sh name ~pattern ~h ~tau ~k ~force =
   let key = K_plan { pk_corpus = name; pk_pattern = pattern; pk_h = h; pk_tau = tau;
                      pk_k = k; pk_force = force }
   in
-  match cache_get t key with
+  match cache_get sh key with
   | Some (A_plan p) -> p
   | _ ->
     let q =
@@ -199,63 +237,86 @@ let plan_locked t name ~pattern ~h ~tau ~k ~force =
       | Ok q -> q
       | Error e -> failf "bad query %S: %s" pattern e
     in
-    let mset, tree = tree_locked t name ~h ~tau in
-    let doc = doc_locked t name in
+    let mset, tree = tree_locked t sh name ~h ~tau in
+    let doc = doc_locked t sh name in
     let ctx = Ptq.context ~exec:t.exec ~tree ~mset ~doc () in
     let p = Obs.time s_build (fun () -> Ptq.compile ~force ?k ctx q) in
-    cache_put t key (A_plan p);
+    cache_put sh key (A_plan p);
     p
 
 (* ------------------------------ public API ------------------------- *)
 
 let wrap f = try Ok (f ()) with Fail msg -> Error msg | Invalid_argument msg -> Error msg
 
-let corpus_of_key = function
-  | K_matching c | K_doc c | K_mset (c, _) | K_tree (c, _, _) -> c
-  | K_plan p -> p.pk_corpus
+(* Look the shard up (brief global lock), then build under its own lock;
+   an unknown corpus has no shard and fails without touching any lock a
+   builder could be holding. *)
+let with_shard t name f =
+  match shard_find t name with
+  | None -> failf "unknown corpus %S (register it first)" name
+  | Some sh -> with_lock sh.sh_lock (fun () -> f sh)
 
 let register t ~name ~doc_seed ?doc_nodes spec =
   wrap (fun () ->
-      with_lock t (fun () ->
-          (* Replacing a spec must not leave stale derivations behind. *)
-          let previous = Hashtbl.find_opt t.corpora name in
-          if previous <> None then
-            List.iter
-              (fun k -> if corpus_of_key k = name then Lru.remove t.cache k)
-              (Lru.keys t.cache);
-          Hashtbl.replace t.corpora name { spec; doc_seed; doc_nodes };
+      let sh = shard_find_or_create t name in
+      with_lock sh.sh_lock (fun () ->
+          (* Replacing a spec must not leave stale derivations behind; the
+             whole shard cache belongs to this corpus, so clear it. *)
+          let previous = Atomic.get sh.sh_entry in
+          if previous <> None then Lru.clear sh.sh_cache;
+          Atomic.set sh.sh_entry (Some { spec; doc_seed; doc_nodes });
           try
-            let m = matching_locked t name in
-            let d = doc_locked t name in
+            let m = matching_locked t sh name in
+            let d = doc_locked t sh name in
             (m, d)
           with e ->
             (* A spec that does not build must not shadow the old corpus
                (or register at all), nor leave partial derivations cached. *)
-            List.iter
-              (fun k -> if corpus_of_key k = name then Lru.remove t.cache k)
-              (Lru.keys t.cache);
-            (match previous with
-            | Some p -> Hashtbl.replace t.corpora name p
-            | None -> Hashtbl.remove t.corpora name);
+            Lru.clear sh.sh_cache;
+            Atomic.set sh.sh_entry previous;
             raise e))
 
 let corpora t =
-  with_lock t (fun () ->
-      Hashtbl.fold (fun name e acc -> (name, spec_description e.spec) :: acc) t.corpora []
-      (* Corpus names are unique table keys, so this key alone is total. *)
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+  (* Spec reads are atomic, so the listing never blocks behind a shard
+     mid-build; shards whose registration failed (entry [None]) are
+     invisible. *)
+  List.filter_map
+    (fun (name, sh) ->
+      Option.map (fun e -> (name, spec_description e.spec)) (Atomic.get sh.sh_entry))
+    (shards_sorted t)
 
-let matching t name = wrap (fun () -> with_lock t (fun () -> matching_locked t name))
-let doc t name = wrap (fun () -> with_lock t (fun () -> doc_locked t name))
-let mapping_set t name ~h = wrap (fun () -> with_lock t (fun () -> mset_locked t name ~h))
+let matching t name = wrap (fun () -> with_shard t name (fun sh -> matching_locked t sh name))
+let doc t name = wrap (fun () -> with_shard t name (fun sh -> doc_locked t sh name))
+
+let mapping_set t name ~h =
+  wrap (fun () -> with_shard t name (fun sh -> mset_locked t sh name ~h))
 
 let prepared t name ~h ~tau =
-  wrap (fun () -> with_lock t (fun () -> tree_locked t name ~h ~tau))
+  wrap (fun () -> with_shard t name (fun sh -> tree_locked t sh name ~h ~tau))
 
 let plan t name ~pattern ~h ~tau ~k ~force =
-  wrap (fun () -> with_lock t (fun () -> plan_locked t name ~pattern ~h ~tau ~k ~force))
+  wrap (fun () ->
+      with_shard t name (fun sh -> plan_locked t sh name ~pattern ~h ~tau ~k ~force))
 
-let cache_length t = with_lock t (fun () -> Lru.length t.cache)
-let cache_capacity t = Lru.capacity t.cache
-let cache_stats t = with_lock t (fun () -> Lru.stats t.cache)
-let cache_keys t = with_lock t (fun () -> Lru.keys t.cache)
+(* Monitoring reads. Stats are atomic counter sums; length is a per-shard
+   O(1) population read. Neither takes shard locks, so the stats endpoint
+   stays responsive while a shard is mid-build. *)
+
+let cache_length t =
+  List.fold_left (fun acc (_, sh) -> acc + Lru.length sh.sh_cache) 0 (shards_sorted t)
+
+let cache_capacity t = t.cache_entries
+
+let cache_stats t =
+  List.fold_left
+    (fun acc (_, sh) -> Lru.add_stats acc (Lru.stats sh.sh_cache))
+    Lru.zero_stats (shards_sorted t)
+
+(* Keys walk each shard's recency list, which mutates under traffic, so
+   this one does take each shard lock (briefly, per shard). *)
+let cache_keys t =
+  List.concat_map
+    (fun (_, sh) -> with_lock sh.sh_lock (fun () -> Lru.keys sh.sh_cache))
+    (shards_sorted t)
+
+let shard_count t = with_lock t.lock (fun () -> Hashtbl.length t.shards)

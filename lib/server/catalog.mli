@@ -11,9 +11,17 @@
     on next use (same seed, same algorithms), so eviction affects latency,
     never answers.
 
-    All operations are safe under concurrent use from multiple domains (a
-    single internal lock; artifact builds run under it, so concurrent
-    requests for the same key build once and the loser waits). *)
+    {b Concurrency: per-corpus shards.} The catalog is sharded by corpus:
+    each corpus owns a shard holding its spec, its own LRU (capacity
+    [cache_entries] {e per corpus}) and its own mutex. Every cache key
+    names exactly one corpus, so concurrent clients querying different
+    corpora build and hit cache in parallel; requests for the same corpus
+    serialize on that shard only (same-key builds still run once — the
+    loser waits). The global lock guards only the name → shard map and is
+    never held across a build, so lock acquisition never nests and cannot
+    deadlock. Monitoring reads ({!cache_stats}, {!cache_length},
+    {!corpora}) use atomic counters/spec cells and stay responsive while a
+    shard is mid-build; {!cache_keys} briefly takes each shard lock. *)
 
 type plan_key = {
   pk_corpus : string;
@@ -40,10 +48,11 @@ val key_string : key -> string
 type t
 
 val create : ?cache_entries:int -> exec:Uxsm_exec.Executor.t -> unit -> t
-(** [cache_entries] (default 64) bounds the artifact LRU. [exec] schedules
-    the parallelizable stages of artifact builds (matcher scoring, top-h
-    ranking) — query evaluation receives it from the server, not from
-    here. *)
+(** [cache_entries] (default 64) bounds each corpus shard's artifact LRU
+    (a per-corpus budget: total population is bounded by
+    [corpora × cache_entries]). [exec] schedules the parallelizable stages
+    of artifact builds (matcher scoring, top-h ranking) — query evaluation
+    receives it from the server, not from here. *)
 
 val executor : t -> Uxsm_exec.Executor.t
 
@@ -94,7 +103,20 @@ val plan :
     unknown corpus, unparsable pattern, or an impossible [force]. *)
 
 val cache_length : t -> int
+(** Total population across all shards (lock-free monitoring read). *)
+
 val cache_capacity : t -> int
+(** The per-corpus shard capacity (the [cache_entries] given at
+    creation). *)
+
 val cache_stats : t -> Lru.stats
+(** Hit/miss/eviction totals summed across shards (atomic reads; exact
+    even while shards serve traffic). *)
+
 val cache_keys : t -> key list
-(** Most-recently-used first. *)
+(** Keys grouped by corpus (corpus names ascending), most-recently-used
+    first within each corpus. *)
+
+val shard_count : t -> int
+(** Number of corpus shards (includes shards whose registration
+    failed and that hold no corpus). *)

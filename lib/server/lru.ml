@@ -1,5 +1,12 @@
 (* Hash table over a doubly-linked recency list; the list head is the
-   most-recently-used entry, the tail the next eviction victim. *)
+   most-recently-used entry, the tail the next eviction victim.
+
+   Lock ownership: the structure (table + recency list) is single-owner —
+   the caller must hold its own lock (the catalog holds one per corpus
+   shard) around every structural operation. The hit/miss/eviction
+   counters are atomics, so accounting stays exact even when [stats] is
+   read without the owner's lock (the stats endpoint reads while shards
+   serve traffic). *)
 
 type ('k, 'v) node = {
   key : 'k;
@@ -19,9 +26,9 @@ type ('k, 'v) t = {
   tbl : ('k, ('k, 'v) node) Hashtbl.t;
   mutable head : ('k, 'v) node option;
   mutable tail : ('k, 'v) node option;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 let create ~capacity =
@@ -31,9 +38,9 @@ let create ~capacity =
     tbl = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
 let capacity t = t.cap
@@ -67,11 +74,11 @@ let promote t n =
 let find t k =
   match Hashtbl.find_opt t.tbl k with
   | Some n ->
-    t.hits <- t.hits + 1;
+    Atomic.incr t.hits;
     promote t n;
     Some n.value
   | None ->
-    t.misses <- t.misses + 1;
+    Atomic.incr t.misses;
     None
 
 let mem t k = Hashtbl.mem t.tbl k
@@ -83,7 +90,7 @@ let evict_over_capacity t =
     | Some victim ->
       unlink t victim;
       Hashtbl.remove t.tbl victim.key;
-      t.evictions <- t.evictions + 1
+      Atomic.incr t.evictions
   done
 
 let put t k v =
@@ -116,4 +123,10 @@ let keys t =
   in
   go [] t.head
 
-let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let stats t =
+  { hits = Atomic.get t.hits; misses = Atomic.get t.misses; evictions = Atomic.get t.evictions }
+
+let add_stats (a : stats) (b : stats) =
+  { hits = a.hits + b.hits; misses = a.misses + b.misses; evictions = a.evictions + b.evictions }
+
+let zero_stats = { hits = 0; misses = 0; evictions = 0 }

@@ -1,7 +1,12 @@
 (** Bounded least-recently-used cache with hit/miss/eviction accounting.
 
-    A plain single-threaded data structure (the server guards its instance
-    with the catalog lock): a hash table over a doubly-linked recency list.
+    The structure itself (hash table over a doubly-linked recency list) is
+    single-owner: the caller must hold a lock around every structural
+    operation — the catalog holds one mutex per corpus shard. The
+    hit/miss/eviction counters, however, are atomics, so {!stats} is exact
+    even when read concurrently with traffic on other shards (or, for the
+    monitoring path, without the owner's lock at all).
+
     {!find} and {!put} are O(1); when an insertion pushes the population
     over {!capacity}, least-recently-used entries are dropped and counted
     as evictions. Keys are compared with structural equality, so tuples of
@@ -44,4 +49,11 @@ type stats = {
 }
 
 val stats : ('k, 'v) t -> stats
-(** Cumulative since {!create}. *)
+(** Cumulative since {!create}; safe to read from any domain (atomic
+    counter reads, no structural access). *)
+
+val add_stats : stats -> stats -> stats
+(** Component-wise sum — aggregating per-shard stats into a catalog
+    total. *)
+
+val zero_stats : stats

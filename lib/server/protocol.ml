@@ -220,3 +220,15 @@ let ok_response ?id fields =
 let error_response ?id msg =
   let id_field = match id with None -> [] | Some v -> [ ("id", v) ] in
   Json.Assoc (id_field @ [ ("ok", Json.Bool false); ("error", Json.String msg) ])
+
+let overloaded_response ?id () =
+  let id_field = match id with None -> [] | Some v -> [ ("id", v) ] in
+  Json.Assoc
+    (id_field
+    @ [
+        ("ok", Json.Bool false);
+        ("error", Json.String "overloaded: admission queue full, retry later");
+        ("overloaded", Json.Bool true);
+      ])
+
+let is_overloaded_response j = Json.member "overloaded" j = Some (Json.Bool true)

@@ -91,3 +91,14 @@ val ok_response : ?id:Uxsm_util.Json.t -> (string * Uxsm_util.Json.t) list -> Ux
 
 val error_response : ?id:Uxsm_util.Json.t -> string -> Uxsm_util.Json.t
 (** [{"id": id?, "ok": false, "error": msg}]. *)
+
+val overloaded_response : ?id:Uxsm_util.Json.t -> unit -> Uxsm_util.Json.t
+(** The structured backpressure reply:
+    [{"id": id?, "ok": false, "error": "overloaded: ...",
+    "overloaded": true}]. Sent by the transport (not dispatch) when the
+    admission queue is full; the request was {e not} executed and is safe
+    to retry. *)
+
+val is_overloaded_response : Uxsm_util.Json.t -> bool
+(** [true] iff the response carries ["overloaded": true] — how clients
+    distinguish backpressure from request errors. *)

@@ -1,6 +1,7 @@
 module Json = Uxsm_util.Json
 module Executor = Uxsm_exec.Executor
 module Obs = Uxsm_obs.Obs
+module Timing = Uxsm_util.Timing
 module Schema = Uxsm_schema.Schema
 module Doc = Uxsm_xml.Doc
 module Matching = Uxsm_mapping.Matching
@@ -16,15 +17,60 @@ let c_batches = Obs.counter "server.batches"
 let c_connections = Obs.counter "server.connections"
 let c_bytes_in = Obs.counter "server.bytes_in"
 let c_bytes_out = Obs.counter "server.bytes_out"
+let c_overloaded = Obs.counter "server.overloaded"
+let c_contended = Obs.counter "server.exec_contended"
+
+(* The executor's own busy-fallback counter: when the server's dispatch
+   fan-out finds the warm pool already driven by another domain, the call
+   degrades to sequential and this ticks. The server mirrors the delta
+   into [server.exec_contended] so saturation is attributable to serving
+   rather than guessed from a global number. *)
+let c_exec_busy = Obs.counter "exec.sequential_busy"
+
+let h_queue_depth = Obs.histogram "server.queue_depth"
+
+let op_latency op = Obs.histogram ("server." ^ op ^ ".latency")
+
+(* Pre-resolved latency histograms for the fixed op set, so the
+   per-request path never touches the registry mutex. *)
+let op_latencies =
+  List.map
+    (fun op -> (op, op_latency op))
+    [ "ping"; "register"; "match"; "mappings"; "query"; "query_topk"; "explain"; "save";
+      "stats"; "shutdown" ]
+
+let latency_of op =
+  match List.assoc_opt op op_latencies with
+  | Some h -> h
+  | None -> op_latency op
+
+(* Live-service gauges (not Obs counters: they go down). Zero when the
+   server runs a non-concurrent transport (stdio) or none at all. *)
+type gauges = {
+  g_conns_active : int Atomic.t;
+  g_queue_depth : int Atomic.t;
+  g_queue_capacity : int Atomic.t;
+}
 
 type t = {
   cat : Catalog.t;
   exec : Executor.t;
   stop : bool Atomic.t;
+  gauges : gauges;
 }
 
 let create ?cache_entries ?(exec = Executor.sequential) () =
-  { cat = Catalog.create ?cache_entries ~exec (); exec; stop = Atomic.make false }
+  {
+    cat = Catalog.create ?cache_entries ~exec ();
+    exec;
+    stop = Atomic.make false;
+    gauges =
+      {
+        g_conns_active = Atomic.make 0;
+        g_queue_depth = Atomic.make 0;
+        g_queue_capacity = Atomic.make 0;
+      };
+  }
 
 let catalog t = t.cat
 let stopping t = Atomic.get t.stop
@@ -160,6 +206,7 @@ let dispatch t (req : Protocol.request) : (string * Json.t) list =
           [
             ("capacity", Json.Int (Catalog.cache_capacity t.cat));
             ("entries", Json.Int (Catalog.cache_length t.cat));
+            ("shards", Json.Int (Catalog.shard_count t.cat));
             ("hits", Json.Int cache_stats.Lru.hits);
             ("misses", Json.Int cache_stats.Lru.misses);
             ("evictions", Json.Int cache_stats.Lru.evictions);
@@ -175,6 +222,32 @@ let dispatch t (req : Protocol.request) : (string * Json.t) list =
             ("backend", Json.String (Executor.backend_name t.exec));
             ("jobs", Json.Int (Executor.jobs t.exec));
           ] );
+      ( "server",
+        Json.Assoc
+          [
+            ("connections_opened", Json.Int (Obs.value c_connections));
+            ("connections_active", Json.Int (Atomic.get t.gauges.g_conns_active));
+            ("queue_depth", Json.Int (Atomic.get t.gauges.g_queue_depth));
+            ("queue_capacity", Json.Int (Atomic.get t.gauges.g_queue_capacity));
+            ("overloaded_rejections", Json.Int (Obs.value c_overloaded));
+            ("exec_contended", Json.Int (Obs.value c_contended));
+          ] );
+      ( "histograms",
+        Json.Assoc
+          (List.filter_map
+             (fun (n, v) ->
+               if v.Obs.hv_count = 0 then None
+               else
+                 Some
+                   ( n,
+                     Json.Assoc
+                       [
+                         ("count", Json.Int v.Obs.hv_count);
+                         ("p50", Json.Float (Obs.quantile v 0.50));
+                         ("p95", Json.Float (Obs.quantile v 0.95));
+                         ("p99", Json.Float (Obs.quantile v 0.99));
+                       ] ))
+             (Obs.histograms ())) );
       ( "counters",
         Json.Assoc (List.map (fun (n, v) -> (n, Json.Int v)) snap.Obs.snap_counters) );
       ( "spans",
@@ -190,10 +263,16 @@ let dispatch t (req : Protocol.request) : (string * Json.t) list =
 
 let handle_request t (env : Protocol.envelope) =
   Obs.incr c_requests;
-  let span = Obs.span ("server.op." ^ Protocol.op_name env.req) in
+  let op = Protocol.op_name env.req in
+  let span = Obs.span ("server.op." ^ op) in
+  let started = Timing.now_mono () in
+  let observe_latency () = Obs.observe (latency_of op) (Timing.now_mono () -. started) in
   match Obs.time span (fun () -> dispatch t env.req) with
-  | fields -> Protocol.ok_response ?id:env.id fields
+  | fields ->
+    observe_latency ();
+    Protocol.ok_response ?id:env.id fields
   | exception e ->
+    observe_latency ();
     Obs.incr c_errors;
     let msg =
       match e with
@@ -213,6 +292,20 @@ let respond_parsed t = function
 
 let handle_line t line = respond_parsed t (Protocol.parse_line line)
 
+(* Attribute executor busy-fallbacks inside [f] to server dispatch: the
+   delta of [exec.sequential_busy] across the call is mirrored into
+   [server.exec_contended]. The signal is approximate under concurrent
+   non-server executor traffic (a global counter), but the server's
+   dispatcher is the only bulk submitter in a serving process, so in
+   practice the delta is exactly the dispatcher's lost fan-outs. *)
+let record_exec_contention f =
+  let before = Obs.value c_exec_busy in
+  let finally () =
+    let d = Obs.value c_exec_busy - before in
+    if d > 0 then Obs.add c_contended d
+  in
+  Fun.protect ~finally f
+
 (* Batch dispatch: runs of consecutive pure requests fan out through the
    executor (responses merge in index order, so the reply stream is
    identical to sequential handling); Register and Shutdown are barriers
@@ -220,35 +313,37 @@ let handle_line t line = respond_parsed t (Protocol.parse_line line)
    request is handled inline — inside a pool worker the nested-fanout
    guard would rob it of its own per-request parallelism. *)
 let batch_request_units = 2000.0
+
+let respond_run t run =
+  match run with
+  | [ p ] -> [ respond_parsed t p ]
+  | _ when Executor.is_parallel t.exec ->
+    (* A pure request normally compiles or replays a whole query plan —
+       thousands of node-visit units — so size the batch accordingly for
+       the executor's gate: pairs of requests already clear a multi-core
+       break-even, while single-request batches never reach here (handled
+       inline above). *)
+    let cost_hint = float_of_int (List.length run) *. batch_request_units in
+    record_exec_contention (fun () ->
+        Executor.map_list ~cost_hint t.exec (respond_parsed t) run)
+  | _ -> List.map (respond_parsed t) run
+
+let pure_parsed = function
+  | Ok env -> Protocol.is_pure env.Protocol.req
+  | Error _ -> true (* an error reply touches no state *)
+
 let handle_lines t lines =
   let parsed = List.map Protocol.parse_line lines in
-  let pure = function
-    | Ok env -> Protocol.is_pure env.Protocol.req
-    | Error _ -> true (* an error reply touches no state *)
-  in
   let rec split_run acc = function
-    | p :: rest when pure p -> split_run (p :: acc) rest
+    | p :: rest when pure_parsed p -> split_run (p :: acc) rest
     | rest -> (List.rev acc, rest)
   in
   let rec go acc = function
     | [] -> List.rev acc
-    | p :: rest when not (pure p) -> go (respond_parsed t p :: acc) rest
+    | p :: rest when not (pure_parsed p) -> go (respond_parsed t p :: acc) rest
     | ps ->
       let run, rest = split_run [] ps in
-      let resps =
-        match run with
-        | [ p ] -> [ respond_parsed t p ]
-        | _ when Executor.is_parallel t.exec ->
-          (* A pure request normally compiles or replays a whole query
-             plan — thousands of node-visit units — so size the batch
-             accordingly for the executor's gate: pairs of requests
-             already clear a multi-core break-even, while single-request
-             batches never reach here (handled inline above). *)
-          let cost_hint = float_of_int (List.length run) *. batch_request_units in
-          Executor.map_list ~cost_hint t.exec (respond_parsed t) run
-        | _ -> List.map (respond_parsed t) run
-      in
-      go (List.rev_append resps acc) rest
+      go (List.rev_append (respond_run t run) acc) rest
   in
   go [] parsed
 
@@ -291,63 +386,322 @@ let drain_lines buf =
     String.split_on_char '\n' (String.sub s 0 i)
     |> List.filter (fun l -> String.trim l <> "")
 
-let serve_conn t fd =
-  Obs.incr c_connections;
+(* --------------------- concurrent accept service ------------------- *)
+(* One reader sys-thread per connection parses lines off the socket and
+   admits them (or rejects with [overloaded]) into one bounded dispatch
+   queue; a single dispatcher sys-thread drains the queue in batches and
+   fans runs of pure requests across the warm domain pool. Sys-threads
+   interleave inside the main domain (blocking I/O releases the runtime
+   lock), so readers cost no parallelism — the compute runs in executor
+   domains, exactly as it does for the stdio transport. *)
+
+type conn = {
+  cn_id : int;  (** per-connection id, assigned at accept, 1-based *)
+  cn_fd : Unix.file_descr;
+  cn_wlock : Mutex.t;
+      (** serializes writes: the dispatcher (responses) and the reader
+          (overload rejections) both write — one whole line per [write_all]
+          under this lock, so lines never tear or interleave *)
+  cn_pending : int Atomic.t;  (** admitted but not yet answered *)
+  cn_eof : bool Atomic.t;  (** reader finished (EOF, error or drain) *)
+  cn_closed : bool Atomic.t;  (** close-once latch *)
+}
+
+type item = {
+  it_conn : conn;
+  it_line : string;
+}
+
+type service = {
+  srv : t;
+  capacity : int;
+  q : item Queue.t;  (** guarded by [m] *)
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable readers_live : int;  (** guarded by [m] *)
+}
+
+(* Closing is legal only when the reader is done and every admitted
+   request was answered; the latch makes the close idempotent across the
+   reader/dispatcher race. The latch is flipped under the write lock, so
+   no writer can start on a closed fd. *)
+let maybe_close g conn =
+  if Atomic.get conn.cn_eof && Atomic.get conn.cn_pending = 0 then begin
+    Mutex.lock conn.cn_wlock;
+    let close_now =
+      (not (Atomic.get conn.cn_closed)) && Atomic.get conn.cn_pending = 0
+    in
+    if close_now then Atomic.set conn.cn_closed true;
+    Mutex.unlock conn.cn_wlock;
+    if close_now then begin
+      ignore (Atomic.fetch_and_add g.g_conns_active (-1));
+      try Unix.close conn.cn_fd with Unix.Unix_error _ -> ()
+    end
+  end
+
+let write_response conn resp =
+  Mutex.lock conn.cn_wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.cn_wlock)
+    (fun () ->
+      if not (Atomic.get conn.cn_closed) then begin
+        let out = resp ^ "\n" in
+        Obs.add c_bytes_out (String.length out);
+        (* A vanished client (EPIPE/ECONNRESET; SIGPIPE is ignored while
+           serving) must not take the server down — its reader will see
+           the hangup and retire the connection. *)
+        try write_all conn.cn_fd out with Unix.Unix_error _ -> ()
+      end)
+
+(* Best-effort id recovery for a rejected line, so pipelining clients can
+   correlate the overload reply without the server executing anything. *)
+let line_id line =
+  match Json.of_string line with
+  | Ok j -> Json.member "id" j
+  | Error _ -> None
+
+let admit sv conn line =
+  Mutex.lock sv.m;
+  let depth = Queue.length sv.q in
+  if depth >= sv.capacity then begin
+    Mutex.unlock sv.m;
+    Obs.incr c_overloaded;
+    write_response conn (Json.to_string (Protocol.overloaded_response ?id:(line_id line) ()))
+  end
+  else begin
+    Atomic.incr conn.cn_pending;
+    Queue.push { it_conn = conn; it_line = line } sv.q;
+    Atomic.set sv.srv.gauges.g_queue_depth (depth + 1);
+    Condition.signal sv.nonempty;
+    Mutex.unlock sv.m;
+    Obs.observe h_queue_depth (float_of_int (depth + 1))
+  end
+
+let reader sv conn =
   let pending = Buffer.create 4096 in
   let chunk = Bytes.create 65536 in
   let rec loop () =
-    if not (stopping t) then
-      (* A short select timeout keeps shutdown (signal or another
-         connection's request in the future) responsive even while idle. *)
-      match Unix.select [ fd ] [] [] 0.25 with
+    if not (stopping sv.srv) then
+      (* The short select timeout keeps drain responsive while idle. *)
+      match Unix.select [ conn.cn_fd ] [] [] 0.25 with
       | [], _, _ -> loop ()
       | _ ->
-        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        let n = Unix.read conn.cn_fd chunk 0 (Bytes.length chunk) in
         if n > 0 then begin
           Obs.add c_bytes_in n;
           Buffer.add_subbytes pending chunk 0 n;
-          (match drain_lines pending with
-          | [] -> ()
-          | lines ->
-            Obs.incr c_batches;
-            let out =
-              String.concat "" (List.map (fun r -> r ^ "\n") (handle_lines t lines))
-            in
-            Obs.add c_bytes_out (String.length out);
-            write_all fd out);
+          List.iter (admit sv conn) (drain_lines pending);
           loop ()
         end
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
   in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> try loop () with Unix.Unix_error _ -> ())
+  (try loop () with Unix.Unix_error _ -> ());
+  Atomic.set conn.cn_eof true;
+  maybe_close sv.srv.gauges conn;
+  Mutex.lock sv.m;
+  sv.readers_live <- sv.readers_live - 1;
+  Condition.broadcast sv.nonempty;
+  Mutex.unlock sv.m
 
-let serve_unix t ~socket_path =
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
-  Unix.bind sock (Unix.ADDR_UNIX socket_path);
-  Unix.listen sock 16;
+(* Answer one popped batch. Items are processed in arrival order and each
+   run's responses are written back in that same order, so every
+   connection sees its admitted requests answered in the order it sent
+   them (rejections, written by the reader, may overtake — that is what
+   request ids are for). *)
+let dispatch_items sv items =
+  let t = sv.srv in
+  Obs.incr c_batches;
+  let parsed = List.map (fun it -> (it, Protocol.parse_line it.it_line)) items in
+  let deliver (it, resp) =
+    write_response it.it_conn resp;
+    ignore (Atomic.fetch_and_add it.it_conn.cn_pending (-1));
+    maybe_close t.gauges it.it_conn
+  in
+  let pure (_, p) = pure_parsed p in
+  let rec split_run acc = function
+    | x :: rest when pure x -> split_run (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go = function
+    | [] -> ()
+    | ((it, p) :: rest) when not (pure (it, p)) ->
+      deliver (it, respond_parsed t p);
+      go rest
+    | xs ->
+      let run, rest = split_run [] xs in
+      let resps = respond_run t (List.map snd run) in
+      List.iter2 (fun (it, _) resp -> deliver (it, resp)) run resps;
+      go rest
+  in
+  go parsed
+
+let max_dispatch_batch = 64
+
+let dispatcher sv =
+  let t = sv.srv in
+  let rec loop () =
+    Mutex.lock sv.m;
+    let rec await () =
+      if not (Queue.is_empty sv.q) then begin
+        let batch = ref [] in
+        let n = ref 0 in
+        while (not (Queue.is_empty sv.q)) && !n < max_dispatch_batch do
+          batch := Queue.pop sv.q :: !batch;
+          incr n
+        done;
+        Atomic.set t.gauges.g_queue_depth (Queue.length sv.q);
+        Some (List.rev !batch)
+      end
+      else if stopping t && sv.readers_live = 0 then None
+      else begin
+        Condition.wait sv.nonempty sv.m;
+        await ()
+      end
+    in
+    let batch = await () in
+    Mutex.unlock sv.m;
+    match batch with
+    | None -> ()
+    | Some items ->
+      dispatch_items sv items;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------ listeners ------------------------- *)
+
+type endpoint =
+  | Unix_socket of string
+  | Tcp of string * int
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) -> raise (Fail (Printf.sprintf "cannot resolve host %S" host)))
+
+let bind_endpoint = function
+  | Unix_socket path ->
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 64;
+    let cleanup () =
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ()
+    in
+    (sock, cleanup)
+  | Tcp (host, port) ->
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (resolve_host host, port));
+    Unix.listen sock 64;
+    let cleanup () = try Unix.close sock with Unix.Unix_error _ -> () in
+    (sock, cleanup)
+
+let serve ?(max_queue = 256) ?ready t endpoints =
+  if endpoints = [] then invalid_arg "Server.serve: no endpoints";
+  if max_queue < 1 then invalid_arg "Server.serve: max_queue must be >= 1";
+  let bound = List.map bind_endpoint endpoints in
+  let socks = List.map fst bound in
+  Atomic.set t.gauges.g_queue_capacity max_queue;
+  let sv =
+    {
+      srv = t;
+      capacity = max_queue;
+      q = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      readers_live = 0;
+    }
+  in
   let install s = Sys.signal s (Sys.Signal_handle (fun _ -> request_stop t)) in
   let old_int = install Sys.sigint in
   let old_term = install Sys.sigterm in
+  (* A client that hangs up mid-reply must surface as EPIPE on the write,
+     not kill the process. *)
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let finally () =
-    (try Unix.close sock with Unix.Unix_error _ -> ());
-    (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+    List.iter (fun (_, cleanup) -> cleanup ()) bound;
     Sys.set_signal Sys.sigint old_int;
-    Sys.set_signal Sys.sigterm old_term
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigpipe old_pipe
   in
   Fun.protect ~finally (fun () ->
+      (match ready with
+      | None -> ()
+      | Some f -> f (List.map Unix.getsockname socks));
+      let disp = Thread.create dispatcher sv in
+      let conns = ref [] in
+      let threads = ref [] in
+      let next_id = ref 0 in
       let rec accept_loop () =
         if not (stopping t) then begin
-          (match Unix.select [ sock ] [] [] 0.25 with
-          | [], _, _ -> ()
-          | _ -> (
-            match Unix.accept sock with
-            | fd, _ -> serve_conn t fd
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          (match Unix.select socks [] [] 0.25 with
+          | ready_socks, _, _ ->
+            List.iter
+              (fun s ->
+                match Unix.accept s with
+                | fd, _ ->
+                  incr next_id;
+                  let conn =
+                    {
+                      cn_id = !next_id;
+                      cn_fd = fd;
+                      cn_wlock = Mutex.create ();
+                      cn_pending = Atomic.make 0;
+                      cn_eof = Atomic.make false;
+                      cn_closed = Atomic.make false;
+                    }
+                  in
+                  Obs.incr c_connections;
+                  Atomic.incr t.gauges.g_conns_active;
+                  conns := conn :: !conns;
+                  Mutex.lock sv.m;
+                  sv.readers_live <- sv.readers_live + 1;
+                  Mutex.unlock sv.m;
+                  threads := Thread.create (reader sv) conn :: !threads
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+              ready_socks
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          (* Periodic wake-up so the dispatcher re-checks [stopping] even
+             when no reader ever signals (a signal-delivered stop with an
+             idle queue). *)
+          Mutex.lock sv.m;
+          Condition.broadcast sv.nonempty;
+          Mutex.unlock sv.m;
           accept_loop ()
         end
       in
-      accept_loop ())
+      accept_loop ();
+      (* Drain: readers notice [stopping] within one select timeout and
+         retire; the dispatcher answers everything admitted so far, then
+         exits once the queue is empty and no reader remains. *)
+      List.iter Thread.join !threads;
+      Mutex.lock sv.m;
+      Condition.broadcast sv.nonempty;
+      Mutex.unlock sv.m;
+      Thread.join disp;
+      (* Every connection should have latched closed via its reader or its
+         last answered request; sweep for robustness. *)
+      List.iter
+        (fun conn ->
+          Atomic.set conn.cn_eof true;
+          maybe_close t.gauges conn)
+        !conns;
+      Atomic.set t.gauges.g_queue_depth 0)
+
+let serve_unix ?max_queue t ~socket_path = serve ?max_queue t [ Unix_socket socket_path ]
+
+let serve_tcp ?max_queue ?ready t ~host ~port =
+  let ready =
+    Option.map
+      (fun f addrs ->
+        match addrs with
+        | Unix.ADDR_INET (_, port) :: _ -> f port
+        | _ -> ())
+      ready
+  in
+  serve ?max_queue ?ready t [ Tcp (host, port) ]

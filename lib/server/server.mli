@@ -1,8 +1,9 @@
 (** The long-lived `uxsm serve` query service.
 
-    One server value holds a {!Catalog.t} (corpora + artifact LRU) and
-    dispatches {!Protocol} requests against it. Three layers are exposed,
-    innermost first, so tests can exercise dispatch without any transport:
+    One server value holds a {!Catalog.t} (corpora + per-corpus artifact
+    LRU shards) and dispatches {!Protocol} requests against it. Layers
+    are exposed innermost first, so tests can exercise dispatch without
+    any transport:
 
     - {!handle_request} / {!handle_line}: one request → one response.
       Malformed or failing requests produce [{"ok": false, "error": ...}];
@@ -15,20 +16,38 @@
       [Register] and [Shutdown] act as barriers. Responses are returned
       in request order regardless of backend. A lone request bypasses the
       pool so it keeps its per-request parallelism.
-    - {!serve_channels} / {!serve_unix}: the stdio and Unix-domain-socket
-      transports (line-delimited JSON both ways). The socket transport
-      dispatches every chunk of pipelined lines as one batch.
+    - {!serve_channels}: the stdio transport (line-delimited JSON both
+      ways, one request at a time).
+    - {!serve} / {!serve_unix} / {!serve_tcp}: the concurrent socket
+      service — any mix of Unix-domain and TCP listeners on one accept
+      loop. Each accepted connection gets a reader sys-thread that admits
+      complete lines into one {e bounded} dispatch queue shared by all
+      connections; a single dispatcher thread drains the queue in batches
+      and fans runs of pure requests across the warm domain pool. When
+      the queue is full, the reader rejects the line immediately with
+      {!Protocol.overloaded_response} (echoing its ["id"]) without
+      executing it. Admitted requests from one connection are answered in
+      the order they were sent; overload rejections may overtake admitted
+      replies — clients correlate by ["id"]. SIGINT/SIGTERM request a
+      stop and the service drains: readers retire, every admitted request
+      is answered, connections close, the listeners are cleaned up.
+      Because the catalog is sharded per corpus, concurrent clients
+      working on different corpora do not serialize on one cache lock.
 
     Every request is wrapped in an [Uxsm_obs] span
     ([server.op.<endpoint>]) and counted ([server.requests],
-    [server.errors], transport bytes, connections); the [stats] endpoint
-    serves these counters together with the cache and catalog state. *)
+    [server.errors], transport bytes, connections), and its wall-clock
+    latency is recorded in a [server.<op>.latency] histogram; the [stats]
+    endpoint serves counters, spans, histogram quantiles (p50/p95/p99)
+    and live service gauges (active connections, queue depth/capacity,
+    overload rejections, executor contention) together with the cache
+    and catalog state. *)
 
 type t
 
 val create : ?cache_entries:int -> ?exec:Uxsm_exec.Executor.t -> unit -> t
 (** [exec] defaults to sequential; [cache_entries] to the catalog
-    default. *)
+    default (per corpus shard). *)
 
 val catalog : t -> Catalog.t
 
@@ -45,14 +64,36 @@ val handle_line : t -> string -> string
 val handle_lines : t -> string list -> string list
 (** Batch dispatch; one response line per request line, in order. *)
 
+val record_exec_contention : (unit -> 'a) -> 'a
+(** Run [f] and mirror the delta of the executor's
+    [exec.sequential_busy] counter across the call into
+    [server.exec_contended] — the server-attributed count of fan-outs
+    that degraded to sequential because another domain was driving the
+    pool. Used around every dispatcher fan-out; exposed for tests. *)
+
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Read request lines until EOF or shutdown, replying (and flushing)
     after each line. *)
 
-val serve_unix : t -> socket_path:string -> unit
-(** Bind a Unix domain socket (replacing a stale file), then accept one
-    connection at a time until {!stopping}; the socket file is removed on
-    return. Within a connection, all complete lines available are handled
-    as one batch. A shutdown request answers every request received so
-    far, then closes the listener. SIGINT/SIGTERM handlers are installed
-    for the duration and drain the same way. *)
+(** A listening endpoint for {!serve}. *)
+type endpoint =
+  | Unix_socket of string  (** socket file path; a stale file is replaced *)
+  | Tcp of string * int  (** host (name or dotted quad) and port; port 0 = ephemeral *)
+
+val serve : ?max_queue:int -> ?ready:(Unix.sockaddr list -> unit) -> t -> endpoint list -> unit
+(** Bind every endpoint, then accept and serve concurrently until
+    {!stopping} (see the module docs for the connection model). Returns
+    after the drain completes; socket files are unlinked and signal
+    handlers restored. [max_queue] (default 256, must be >= 1) bounds the
+    shared admission queue. [ready] is called once with the bound
+    addresses (in endpoint order) after listening starts — tests use it
+    with [Tcp (host, 0)] to learn the ephemeral port.
+
+    @raise Invalid_argument on an empty endpoint list or non-positive
+    [max_queue]. *)
+
+val serve_unix : ?max_queue:int -> t -> socket_path:string -> unit
+(** [serve] on a single Unix-domain socket. *)
+
+val serve_tcp : ?max_queue:int -> ?ready:(int -> unit) -> t -> host:string -> port:int -> unit
+(** [serve] on a single TCP listener; [ready] receives the bound port. *)

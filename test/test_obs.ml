@@ -118,6 +118,119 @@ let test_snapshot_determinism () =
   Alcotest.(check bool) "nonzero keeps live counters" true
     (List.mem_assoc "test.a" nz.Obs.snap_counters)
 
+(* ----------------------------- histograms ------------------------- *)
+
+let test_histogram_basics () =
+  Obs.reset ();
+  let h = Obs.histogram "test.hist" in
+  Alcotest.(check int) "starts empty" 0 (Obs.histogram_count h);
+  Alcotest.(check string) "name" "test.hist" (Obs.histogram_name h);
+  List.iter (Obs.observe h) [ 0.001; 0.002; 0.004; 0.008; 0.1; 2.0 ];
+  Alcotest.(check int) "six observations" 6 (Obs.histogram_count h);
+  let v = Obs.histogram_view h in
+  Alcotest.(check int) "view count" 6 v.Obs.hv_count;
+  Alcotest.(check (float 1e-9)) "view sum" 2.115 v.Obs.hv_sum;
+  let total_bucketed =
+    List.fold_left (fun acc (_, c) -> acc + c) v.Obs.hv_overflow v.Obs.hv_buckets
+  in
+  Alcotest.(check int) "every observation landed in a bucket" 6 total_bucketed;
+  Alcotest.(check int) "nothing overflowed" 0 v.Obs.hv_overflow;
+  (* Same name aliases the same cell, like counters. *)
+  Obs.observe (Obs.histogram "test.hist") 0.5;
+  Alcotest.(check int) "aliased observe lands" 7 (Obs.histogram_count h)
+
+let test_histogram_quantiles () =
+  Obs.reset ();
+  let h = Obs.histogram "test.quant" in
+  Alcotest.(check (float 0.0)) "empty histogram quantile is 0" 0.0
+    (Obs.quantile (Obs.histogram_view h) 0.5);
+  (* 90 fast observations and 10 slow ones: the median must sit near the
+     fast mass and p99 near the slow mass, with quantiles monotone in q. *)
+  for _ = 1 to 90 do Obs.observe h 0.001 done;
+  for _ = 1 to 10 do Obs.observe h 1.0 done;
+  let v = Obs.histogram_view h in
+  let p50 = Obs.quantile v 0.50 in
+  let p95 = Obs.quantile v 0.95 in
+  let p99 = Obs.quantile v 0.99 in
+  Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+  Alcotest.(check bool) "p95 <= p99" true (p95 <= p99);
+  Alcotest.(check bool) "p50 near the fast mass" true (p50 < 0.01);
+  Alcotest.(check bool) "p99 near the slow mass" true (p99 > 0.25);
+  (* q is clamped, not rejected. *)
+  Alcotest.(check bool) "q clamps low" true (Obs.quantile v (-1.0) <= p50);
+  Alcotest.(check bool) "q clamps high" true (Obs.quantile v 2.0 >= p99);
+  (* Out-of-range observations land in the overflow bucket and keep the
+     top quantile finite. *)
+  let o = Obs.histogram "test.quant_over" in
+  Obs.observe o 1e9;
+  let ov = Obs.histogram_view o in
+  Alcotest.(check int) "overflow recorded" 1 ov.Obs.hv_overflow;
+  let top = Obs.quantile ov 1.0 in
+  Alcotest.(check bool) "overflow quantile is finite" true (Float.is_finite top)
+
+let test_histogram_merge () =
+  Obs.reset ();
+  let a = Obs.histogram "test.merge_a" in
+  let b = Obs.histogram "test.merge_b" in
+  for _ = 1 to 40 do Obs.observe a 0.002 done;
+  for _ = 1 to 60 do Obs.observe b 0.5 done;
+  Obs.observe b 1e9;
+  let va = Obs.histogram_view a and vb = Obs.histogram_view b in
+  let m = Obs.merge_views va vb in
+  Alcotest.(check int) "merged count" 101 m.Obs.hv_count;
+  Alcotest.(check (float 1e-6)) "merged sum" (va.Obs.hv_sum +. vb.Obs.hv_sum) m.Obs.hv_sum;
+  Alcotest.(check int) "merged overflow" 1 m.Obs.hv_overflow;
+  (* The merged quantiles reflect the combined distribution: the median
+     falls between the two component medians. *)
+  let qm = Obs.quantile m 0.5 in
+  Alcotest.(check bool) "merged median between component masses" true
+    (qm >= Obs.quantile va 0.5 && qm <= Obs.quantile vb 0.5);
+  (* Merge is commutative. *)
+  let m' = Obs.merge_views vb va in
+  Alcotest.(check bool) "commutative" true (m = m')
+
+let test_histogram_concurrent_observe () =
+  Obs.reset ();
+  let h = Obs.histogram "test.hist_par" in
+  let per_domain = 10_000 in
+  let worker seed () =
+    for i = 1 to per_domain do
+      (* Spread observations across several buckets deterministically. *)
+      Obs.observe h (0.001 *. float_of_int (1 + ((i + seed) mod 7)))
+    done
+  in
+  let domains = List.init 4 (fun s -> Domain.spawn (worker s)) in
+  List.iter Domain.join domains;
+  let v = Obs.histogram_view h in
+  Alcotest.(check int) "no observation lost across domains" (4 * per_domain)
+    v.Obs.hv_count;
+  let bucketed =
+    List.fold_left (fun acc (_, c) -> acc + c) v.Obs.hv_overflow v.Obs.hv_buckets
+  in
+  Alcotest.(check int) "bucket totals agree with count" (4 * per_domain) bucketed
+
+let test_histogram_reset_and_listing () =
+  Obs.reset ();
+  let h = Obs.histogram "test.hist_reset" in
+  Obs.observe h 0.25;
+  Alcotest.(check bool) "listed with data" true
+    (match List.assoc_opt "test.hist_reset" (Obs.histograms ()) with
+    | Some v -> v.Obs.hv_count = 1
+    | None -> false);
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "snapshot carries histograms" true
+    (List.mem_assoc "test.hist_reset" snap.Obs.snap_histograms);
+  Alcotest.(check bool) "nonzero keeps populated histograms" true
+    (List.mem_assoc "test.hist_reset" (Obs.nonzero snap).Obs.snap_histograms);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes observations" 0 (Obs.histogram_count h);
+  let v = Obs.histogram_view h in
+  Alcotest.(check (float 0.0)) "reset zeroes the sum" 0.0 v.Obs.hv_sum;
+  Alcotest.(check bool) "registration survives reset" true
+    (List.mem_assoc "test.hist_reset" (Obs.histograms ()));
+  Alcotest.(check bool) "nonzero drops empty histograms" true
+    (not (List.mem_assoc "test.hist_reset" (Obs.nonzero (Obs.snapshot ())).Obs.snap_histograms))
+
 (* ------------------------------- Json ----------------------------- *)
 
 let rec json_equal a b =
@@ -185,6 +298,7 @@ let sample_run () =
   Obs.reset ();
   Obs.add (Obs.counter "test.bench_counter") 9;
   ignore (Obs.time (Obs.span "test.bench_span") (fun () -> ()));
+  List.iter (Obs.observe (Obs.histogram "test.bench_hist")) [ 0.001; 0.1; 1e9 ];
   let e1 =
     Bench_json.experiment
       ~params:[ ("h", Json.Int 100); ("taus", Json.List [ Json.Float 0.2 ]) ]
@@ -230,7 +344,30 @@ let test_bench_json_roundtrip () =
       (e1.Bench_json.e_measurements = e1'.Bench_json.e_measurements);
     Alcotest.(check bool) "spans survive" true (e1.Bench_json.e_spans = e1'.Bench_json.e_spans);
     Alcotest.(check bool) "params survive" true
-      (List.map fst e1.Bench_json.e_params = List.map fst e1'.Bench_json.e_params)
+      (List.map fst e1.Bench_json.e_params = List.map fst e1'.Bench_json.e_params);
+    Alcotest.(check bool) "histograms survive (counts, buckets, overflow)" true
+      (e1.Bench_json.e_histograms <> []
+      && List.for_all2
+           (fun (n, v) (n', v') ->
+             n = n'
+             && v.Obs.hv_count = v'.Obs.hv_count
+             && v.Obs.hv_overflow = v'.Obs.hv_overflow
+             && List.map fst v.Obs.hv_buckets = List.map fst v'.Obs.hv_buckets)
+           e1.Bench_json.e_histograms e1'.Bench_json.e_histograms);
+    (* An experiment with no histogram traffic keeps the pre-histogram
+       record shape: the field is absent, not an empty list. *)
+    let e2_json =
+      List.find
+        (fun j -> Json.member "id" j = Some (Json.String "table2"))
+        (match Json.of_string line with
+        | Ok j -> (
+          match Json.member "experiments" j with
+          | Some (Json.List es) -> es
+          | _ -> [])
+        | Error _ -> [])
+    in
+    Alcotest.(check bool) "empty histograms field omitted from the record" true
+      (Json.member "histograms" e2_json = None)
 
 (* Records written before the executor fields existed must keep parsing,
    with the only configuration they could have used. *)
@@ -329,6 +466,11 @@ let suite =
     Alcotest.test_case "reset inside an active span" `Quick test_reset_inside_active_span;
     Alcotest.test_case "nested spans" `Quick test_nested_spans;
     Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram concurrent observe" `Quick test_histogram_concurrent_observe;
+    Alcotest.test_case "histogram reset and listing" `Quick test_histogram_reset_and_listing;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parse cases" `Quick test_json_parse_cases;
     Alcotest.test_case "bench record round-trip" `Quick test_bench_json_roundtrip;

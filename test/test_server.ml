@@ -52,6 +52,56 @@ let test_lru_eviction_order () =
   Alcotest.(check int) "removed" 2 (Lru.length c);
   Alcotest.(check int) "remove not counted" evs (Lru.stats c).Lru.evictions
 
+(* Regression for the counter-atomicity contract: the structure is
+   single-owner (one lock per catalog shard), but [Lru.stats] is read
+   lock-free by the stats endpoint while the owner mutates. The counters
+   must stay exact and monotone under that race. *)
+let test_lru_concurrent_stats () =
+  let c = Lru.create ~capacity:8 in
+  let lock = Mutex.create () in
+  let ops = 5_000 in
+  let n_workers = 4 in
+  let worker seed () =
+    for i = 1 to ops do
+      let k = (i * 7 + seed) mod 32 in
+      Mutex.lock lock;
+      (match Lru.find c k with
+      | None -> Lru.put c k (k * k)
+      | Some _ -> ());
+      Mutex.unlock lock
+    done
+  in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let observer =
+    Domain.spawn (fun () ->
+        let last = ref Lru.zero_stats in
+        while not (Atomic.get stop) do
+          let s = Lru.stats c in
+          if
+            s.Lru.hits < !last.Lru.hits
+            || s.Lru.misses < !last.Lru.misses
+            || s.Lru.evictions < !last.Lru.evictions
+          then Atomic.incr violations;
+          last := s
+        done)
+  in
+  let workers = List.init n_workers (fun s -> Domain.spawn (worker s)) in
+  List.iter Domain.join workers;
+  Atomic.set stop true;
+  Domain.join observer;
+  Alcotest.(check int) "lock-free reads never saw counters go backwards" 0
+    (Atomic.get violations);
+  let s = Lru.stats c in
+  Alcotest.(check int) "every find accounted exactly once" (n_workers * ops)
+    (s.Lru.hits + s.Lru.misses);
+  (* Aggregation across shards is plain addition. *)
+  let doubled = Lru.add_stats s s in
+  Alcotest.(check int) "add_stats sums" (2 * (s.Lru.hits + s.Lru.misses))
+    (doubled.Lru.hits + doubled.Lru.misses);
+  Alcotest.(check int) "zero_stats is the identity" s.Lru.hits
+    (Lru.add_stats Lru.zero_stats s).Lru.hits
+
 let test_lru_counters () =
   let c = Lru.create ~capacity:2 in
   Alcotest.(check (option int)) "miss on empty" None (Lru.find c 1);
@@ -154,6 +204,19 @@ let test_protocol_round_trip () =
       {|{"op":"stats"}|};
       {|{"op":"shutdown","id":null}|};
     ]
+
+let test_overloaded_response_shape () =
+  let r = Protocol.overloaded_response ~id:(Json.Int 9) () in
+  (match (Json.member "ok" r, Json.member "error" r) with
+  | Some (Json.Bool false), Some (Json.String e) ->
+    Alcotest.(check bool) "error text says overloaded" true (contains ~needle:"overloaded" e)
+  | _ -> Alcotest.failf "not an error response: %s" (Json.to_string r));
+  Alcotest.(check bool) "id echoed" true (Json.member "id" r = Some (Json.Int 9));
+  Alcotest.(check bool) "structurally recognizable" true (Protocol.is_overloaded_response r);
+  Alcotest.(check bool) "plain errors are not overloads" false
+    (Protocol.is_overloaded_response (Protocol.error_response "overloaded-looking text"));
+  Alcotest.(check bool) "id is optional" true
+    (Protocol.is_overloaded_response (Protocol.overloaded_response ()))
 
 (* ------------------------- dispatch helpers ----------------------- *)
 
@@ -444,9 +507,305 @@ let test_serve_channels () =
     replies;
   Alcotest.(check bool) "stopped" true (Server.stopping srv)
 
+(* ---------------------- catalog shard safety ---------------------- *)
+
+let mixed_requests ~corpus ~tag n =
+  List.init n (fun j ->
+      let id = Printf.sprintf {|"%s-%d"|} tag j in
+      match j mod 4 with
+      | 0 -> Printf.sprintf {|{"op":"ping","id":%s}|} id
+      | 1 ->
+        Printf.sprintf {|{"op":"query","corpus":"%s","query":"ORDER//ICN","h":5,"id":%s}|}
+          corpus id
+      | 2 -> Printf.sprintf {|{"op":"mappings","corpus":"%s","h":5,"id":%s}|} corpus id
+      | _ -> Printf.sprintf {|{"op":"match","corpus":"%s","id":%s}|} corpus id)
+
+let test_catalog_concurrent_shards () =
+  let srv = Server.create ~cache_entries:8 () in
+  assert_ok "register A" (response_of_line srv (register_line "corpA"));
+  assert_ok "register B" (response_of_line srv (register_line "corpB"));
+  Alcotest.(check int) "one shard per corpus" 2 (Catalog.shard_count (Server.catalog srv));
+  let reqs corpus = mixed_requests ~corpus ~tag:corpus 20 in
+  (* Sequential replay first; concurrent domains must reproduce it
+     byte-for-byte (artifact caches only change who does the work). *)
+  let expected corpus = List.map (Server.handle_line srv) (reqs corpus) in
+  let exp_a = expected "corpA" and exp_b = expected "corpB" in
+  let run corpus = Domain.spawn (fun () -> List.map (Server.handle_line srv) (reqs corpus)) in
+  let spawned = [ run "corpA"; run "corpB"; run "corpA"; run "corpB" ] in
+  let got = List.map Domain.join spawned in
+  List.iteri
+    (fun di replies ->
+      let exp = if di mod 2 = 0 then exp_a else exp_b in
+      List.iteri
+        (fun j (e, g) ->
+          Alcotest.(check string) (Printf.sprintf "domain %d reply %d" di j) e g)
+        (List.combine exp replies))
+    got;
+  (* The monitoring reads raced the traffic without a shard lock; totals
+     must still be coherent afterwards. *)
+  let s = Catalog.cache_stats (Server.catalog srv) in
+  Alcotest.(check bool) "shard-summed stats coherent" true
+    (s.Lru.hits >= 0 && s.Lru.misses > 0 && Catalog.cache_length (Server.catalog srv) <= 16)
+
+(* ---------------------- contention attribution -------------------- *)
+
+let test_exec_contention_attribution () =
+  Obs.reset ();
+  let busy = Obs.counter "exec.sequential_busy" in
+  let contended = Obs.counter "server.exec_contended" in
+  let v = Server.record_exec_contention (fun () -> Obs.add busy 3; 17) in
+  Alcotest.(check int) "result passes through" 17 v;
+  Alcotest.(check int) "busy delta mirrored" 3 (Obs.value contended);
+  ignore (Server.record_exec_contention (fun () -> ()));
+  Alcotest.(check int) "quiet call adds nothing" 3 (Obs.value contended);
+  (try Server.record_exec_contention (fun () -> Obs.incr busy; failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "mirrored on the exceptional path too" 4 (Obs.value contended)
+
+(* -------------------- concurrent socket service ------------------- *)
+
+let start_server ?(max_queue = 256) ?exec ?(corpora = [ "corpA"; "corpB" ]) endpoints =
+  let srv = Server.create ~cache_entries:16 ?exec () in
+  List.iter (fun c -> assert_ok ("register " ^ c) (response_of_line srv (register_line c))) corpora;
+  let addrs = ref [] in
+  let m = Mutex.create () and cond = Condition.create () and up = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        Server.serve ~max_queue
+          ~ready:(fun a ->
+            Mutex.lock m;
+            addrs := a;
+            up := true;
+            Condition.signal cond;
+            Mutex.unlock m)
+          srv endpoints)
+      ()
+  in
+  Mutex.lock m;
+  while not !up do
+    Condition.wait cond m
+  done;
+  Mutex.unlock m;
+  (srv, !addrs, th)
+
+let connect addr =
+  let fd =
+    match addr with
+    | Unix.ADDR_UNIX _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | Unix.ADDR_INET _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+  in
+  Unix.connect fd addr;
+  fd
+
+let send_lines fd lines =
+  let oc = Unix.out_channel_of_descr fd in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc
+
+let exchange fd lines =
+  send_lines fd lines;
+  let ic = Unix.in_channel_of_descr fd in
+  List.map (fun _ -> input_line ic) lines
+
+let parse_reply what line =
+  match Json.of_string line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s: reply is not one JSON line (%s): %s" what e line
+
+let id_of j =
+  match Json.member "id" j with
+  | Some v -> Json.to_string v
+  | None -> Alcotest.failf "reply carries no id: %s" (Json.to_string j)
+
+(* The tentpole acceptance test: N concurrent clients on mixed corpora,
+   every reply routed to the requester in send order with payloads
+   byte-identical to a sequential replay of the same requests. *)
+let run_stress what ~exec endpoints =
+  Obs.reset ();
+  let srv, addrs, th = start_server ~exec endpoints in
+  let addr = List.hd addrs in
+  let n_clients = 4 and per_client = 16 in
+  let requests ci =
+    mixed_requests
+      ~corpus:(if ci mod 2 = 0 then "corpA" else "corpB")
+      ~tag:(Printf.sprintf "c%d" ci) per_client
+  in
+  let results = Array.make n_clients [] in
+  let clients =
+    List.init n_clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let fd = connect addr in
+            results.(ci) <- exchange fd (requests ci);
+            Unix.close fd)
+          ())
+  in
+  List.iter Thread.join clients;
+  (* Live stats, taken while the service is still up. *)
+  let fd = connect addr in
+  let stats = parse_reply "stats" (List.hd (exchange fd [ {|{"op":"stats"}|} ])) in
+  Unix.close fd;
+  Server.request_stop srv;
+  Thread.join th;
+  (* Differential: a fresh sequential server answering the same scripts. *)
+  let ref_srv = Server.create ~cache_entries:16 () in
+  assert_ok "register A" (response_of_line ref_srv (register_line "corpA"));
+  assert_ok "register B" (response_of_line ref_srv (register_line "corpB"));
+  Array.iteri
+    (fun ci replies ->
+      let expected = List.map (Server.handle_line ref_srv) (requests ci) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: client %d got every reply" what ci)
+        per_client (List.length replies);
+      List.iteri
+        (fun j (e, g) ->
+          Alcotest.(check string) (Printf.sprintf "%s: client %d reply %d" what ci j) e g)
+        (List.combine expected replies))
+    results;
+  (* Latency histograms made it to the stats endpoint with quantiles. *)
+  assert_ok "stats" stats;
+  (match Json.member "histograms" stats with
+  | Some (Json.Assoc hs) ->
+    List.iter
+      (fun op ->
+        let name = Printf.sprintf "server.%s.latency" op in
+        match List.assoc_opt name hs with
+        | Some h ->
+          Alcotest.(check bool) (name ^ " has quantiles") true
+            (Json.member "p50" h <> None && Json.member "p95" h <> None
+            && Json.member "p99" h <> None
+            && int_member "count" h > 0)
+        | None -> Alcotest.failf "%s: stats missing histogram %s" what name)
+      [ "ping"; "query"; "mappings"; "match" ]
+  | _ -> Alcotest.failf "%s: stats carries no histograms section" what);
+  (* Service gauges. *)
+  match Json.member "server" stats with
+  | Some s ->
+    Alcotest.(check bool) (what ^ ": connections counted") true
+      (int_member "connections_opened" s >= n_clients);
+    Alcotest.(check int) (what ^ ": queue capacity reported") 256
+      (int_member "queue_capacity" s);
+    Alcotest.(check int) (what ^ ": nothing rejected under default bound") 0
+      (int_member "overloaded_rejections" s)
+  | None -> Alcotest.failf "%s: stats carries no server section" what
+
+let test_tcp_stress () =
+  run_stress "tcp" ~exec:(Executor.domains 3) [ Server.Tcp ("127.0.0.1", 0) ]
+
+let test_unix_stress () =
+  let path = Filename.temp_file "uxsm_srv" ".sock" in
+  Sys.remove path;
+  run_stress "unix" ~exec:Executor.sequential [ Server.Unix_socket path ];
+  Alcotest.(check bool) "socket file removed on drain" false (Sys.file_exists path)
+
+(* Graceful drain under load: stop lands while clients are mid-flood.
+   Every reply that arrives is a complete JSON line answering an admitted
+   request, in send order per connection, and every connection ends in
+   EOF with the server thread joining. *)
+let test_drain_mid_load () =
+  (* The queue must be able to hold every flooded request: an overload
+     rejection here would be legitimate backpressure, not a drain bug,
+     and it would (correctly) break the in-order-prefix property this
+     test pins down. *)
+  let n_clients = 3 and warmup = 5 and flood = 100 in
+  let srv, addrs, th =
+    start_server
+      ~max_queue:(n_clients * (warmup + flood))
+      ~corpora:[] [ Server.Tcp ("127.0.0.1", 0) ]
+  in
+  let addr = List.hd addrs in
+  let warmed = Atomic.make 0 in
+  let results = Array.make n_clients [] in
+  let clients =
+    List.init n_clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let fd = connect addr in
+            let ping j = Printf.sprintf {|{"op":"ping","id":"d%d-%d"}|} ci j in
+            let first = exchange fd (List.init warmup ping) in
+            List.iter (fun r -> assert_ok "warmup ping" (parse_reply "warmup" r)) first;
+            Atomic.incr warmed;
+            send_lines fd (List.init flood (fun j -> ping (warmup + j)));
+            let ic = Unix.in_channel_of_descr fd in
+            let rec drain acc =
+              match input_line ic with
+              | l -> drain (l :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            results.(ci) <- drain [];
+            Unix.close fd)
+          ())
+  in
+  while Atomic.get warmed < n_clients do
+    Thread.yield ()
+  done;
+  Server.request_stop srv;
+  List.iter Thread.join clients;
+  Thread.join th;
+  Array.iteri
+    (fun ci replies ->
+      (* Replies to the flood are a prefix of what was sent: the reader
+         admits in order and stops between lines, never inside one. *)
+      List.iteri
+        (fun j r ->
+          let json = parse_reply "drain reply" r in
+          assert_ok "drained reply" json;
+          Alcotest.(check string)
+            (Printf.sprintf "client %d drained reply %d routed in order" ci j)
+            (Printf.sprintf {|"d%d-%d"|} ci (warmup + j))
+            (id_of json))
+        replies;
+      Alcotest.(check bool) "no reply invented" true (List.length replies <= flood))
+    results
+
+(* Backpressure: a queue of one and a register barrier hogging the
+   dispatcher force overload rejections; every line still gets exactly
+   one reply, correlated by id. *)
+let test_admission_overload () =
+  Obs.reset ();
+  let srv, addrs, th = start_server ~max_queue:1 ~corpora:[] [ Server.Tcp ("127.0.0.1", 0) ] in
+  let addr = List.hd addrs in
+  let flood = 200 in
+  let lines =
+    Printf.sprintf {|{"op":"register","name":"corpA","mapping_set":%s,"id":"reg"}|}
+      (Json.to_string (Json.String fig3_text))
+    :: List.init flood (fun j -> Printf.sprintf {|{"op":"ping","id":"f-%d"}|} j)
+  in
+  let fd = connect addr in
+  let replies = List.map (parse_reply "overload reply") (exchange fd lines) in
+  Unix.close fd;
+  let reg, pings = List.partition (fun j -> id_of j = {|"reg"|}) replies in
+  (match reg with
+  | [ r ] -> assert_ok "the admitted register" r
+  | _ -> Alcotest.fail "register answered exactly once");
+  Alcotest.(check int) "one reply per ping" flood (List.length pings);
+  let rejected = List.filter Protocol.is_overloaded_response pings in
+  Alcotest.(check bool) "the full queue rejected some pings" true (rejected <> []);
+  List.iter
+    (fun j ->
+      if not (Protocol.is_overloaded_response j) then assert_ok "admitted ping" j)
+    pings;
+  let ids = List.sort_uniq String.compare (List.map id_of pings) in
+  Alcotest.(check int) "ids all distinct and echoed" flood (List.length ids);
+  (* The service recovers once the queue drains. *)
+  let fd = connect addr in
+  let after = parse_reply "after" (List.hd (exchange fd [ {|{"op":"ping","id":"after"}|} ])) in
+  assert_ok "post-overload ping served" after;
+  Unix.close fd;
+  Server.request_stop srv;
+  Thread.join th;
+  Alcotest.(check bool) "rejections counted" true
+    (Obs.value (Obs.counter "server.overloaded") > 0)
+
 let suite =
   [
     Alcotest.test_case "LRU capacity bounds" `Quick test_lru_capacity_bounds;
+    Alcotest.test_case "LRU counters exact under concurrency" `Quick test_lru_concurrent_stats;
     Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
     Alcotest.test_case "LRU hit/miss counters" `Quick test_lru_counters;
     Alcotest.test_case "protocol parsing" `Quick test_protocol_parse;
@@ -460,4 +819,15 @@ let suite =
     Alcotest.test_case "explain replies carry the plan" `Quick test_explain_carries_plan;
     Alcotest.test_case "pipelined batches across backends" `Quick test_handle_lines_batching;
     Alcotest.test_case "stdio transport drains on shutdown" `Quick test_serve_channels;
+    Alcotest.test_case "overloaded response shape" `Quick test_overloaded_response_shape;
+    Alcotest.test_case "catalog shards serve domains concurrently" `Quick
+      test_catalog_concurrent_shards;
+    Alcotest.test_case "executor contention attributed to serving" `Quick
+      test_exec_contention_attribution;
+    Alcotest.test_case "TCP multi-client stress (differential)" `Quick test_tcp_stress;
+    Alcotest.test_case "Unix-socket multi-client stress (differential)" `Quick
+      test_unix_stress;
+    Alcotest.test_case "graceful drain mid-load" `Quick test_drain_mid_load;
+    Alcotest.test_case "bounded admission queue rejects with overloaded" `Quick
+      test_admission_overload;
   ]
