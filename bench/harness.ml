@@ -75,6 +75,8 @@ let finalize ~argv ?(jobs = 1) ?(executor = "sequential") () =
         r_jobs = jobs;
         r_executor = executor;
         r_experiments = List.rev !completed;
+        r_kind = "bench";
+        r_loadgen = None;
       }
     in
     Bench_json.append_to_file ~path run;

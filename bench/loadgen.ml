@@ -1,0 +1,58 @@
+(* Standalone load-generator driver: replay a workload profile against a
+   live `uxsm serve` and append the resulting loadgen record to a
+   BENCH_*.json trajectory file. A thin wrapper over
+   Uxsm_workload.Loadgen — `uxsm loadgen` offers the same thing behind
+   cmdliner; this binary exists so bench/ is self-contained. *)
+
+module Loadgen = Uxsm_workload.Loadgen
+module Bench_json = Uxsm_obs.Bench_json
+
+let usage = "usage: loadgen --profile FILE.json (--tcp [HOST:]PORT | --socket PATH) [--json OUT.json]"
+
+let () =
+  let profile = ref "" in
+  let tcp = ref "" in
+  let socket = ref "" in
+  let json_out = ref "" in
+  let spec =
+    [
+      ("--profile", Arg.Set_string profile, "FILE.json workload profile");
+      ("--tcp", Arg.Set_string tcp, "[HOST:]PORT connect over TCP (default host 127.0.0.1)");
+      ("--socket", Arg.Set_string socket, "PATH connect over a Unix socket");
+      ("--json", Arg.Set_string json_out, "FILE append the run record to FILE");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a))) usage;
+  let die msg =
+    prerr_endline msg;
+    exit 2
+  in
+  if !profile = "" then die usage;
+  let target =
+    match (!tcp, !socket) with
+    | "", "" -> die usage
+    | t, "" -> (
+      match String.rindex_opt t ':' with
+      | None -> (
+        match int_of_string_opt t with
+        | Some port -> Loadgen.Runner.Tcp ("127.0.0.1", port)
+        | None -> die (Printf.sprintf "--tcp %S: not [HOST:]PORT" t))
+      | Some i -> (
+        match int_of_string_opt (String.sub t (i + 1) (String.length t - i - 1)) with
+        | Some port -> Loadgen.Runner.Tcp (String.sub t 0 i, port)
+        | None -> die (Printf.sprintf "--tcp %S: not [HOST:]PORT" t)))
+    | "", s -> Loadgen.Runner.Unix_socket s
+    | _ -> die "--tcp and --socket are exclusive"
+  in
+  match Loadgen.Profile.load !profile with
+  | Error e -> die (Printf.sprintf "%s: %s" !profile e)
+  | Ok p -> (
+    match Loadgen.Runner.run ~log:prerr_endline p target with
+    | Error e -> die e
+    | Ok lg ->
+      List.iter print_endline (Loadgen.Runner.summary_lines lg);
+      if !json_out <> "" then begin
+        let run = Loadgen.Runner.record ~argv:(List.tl (Array.to_list Sys.argv)) lg in
+        Bench_json.append_to_file ~path:!json_out run;
+        Printf.printf "appended loadgen record to %s\n" !json_out
+      end)

@@ -20,14 +20,30 @@ let validate path =
     Printf.eprintf "%s: INVALID: %s\n" path e;
     false
   | Ok runs ->
-    let by_executor =
-      List.sort_uniq compare
-        (List.map (fun (r : Bench_json.run) -> (r.r_executor, r.r_jobs)) runs)
+    (* Parsing is necessary but not sufficient: run the per-record
+       invariant checks too (loadgen payload consistency, histogram
+       bucket arity, non-negative counts). *)
+    let bad =
+      List.filteri
+        (fun i r ->
+          match Bench_json.check_run r with
+          | Ok () -> false
+          | Error e ->
+            Printf.eprintf "%s: record %d INVALID: %s\n" path (i + 1) e;
+            true)
+        runs
     in
-    Printf.printf "%s: %d run records ok (%s)\n" path (List.length runs)
-      (String.concat ", "
-         (List.map (fun (e, j) -> Printf.sprintf "%s/%d" e j) by_executor));
-    true
+    if bad <> [] then false
+    else begin
+      let by_executor =
+        List.sort_uniq compare
+          (List.map (fun (r : Bench_json.run) -> (r.r_executor, r.r_jobs)) runs)
+      in
+      Printf.printf "%s: %d run records ok (%s)\n" path (List.length runs)
+        (String.concat ", "
+           (List.map (fun (e, j) -> Printf.sprintf "%s/%d" e j) by_executor));
+      true
+    end
 
 let () =
   match List.tl (Array.to_list Sys.argv) with

@@ -17,6 +17,7 @@ module Dataset = Uxsm_workload.Dataset
 module Standards = Uxsm_workload.Standards
 module Gen_doc = Uxsm_workload.Gen_doc
 module Queries = Uxsm_workload.Queries
+module Loadgen = Uxsm_workload.Loadgen
 
 let style_conv =
   let parse s =
@@ -713,6 +714,173 @@ let client_cmd =
              line. Exits non-zero if any reply is an error.")
     Term.(const run $ socket $ tcp $ requests)
 
+(* ------------------------------ loadgen --------------------------- *)
+
+let loadgen_target socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Loadgen.Runner.Unix_socket path
+  | None, Some (host, port) -> Loadgen.Runner.Tcp (host, port)
+  | _ ->
+    prerr_endline "loadgen: need exactly one of --socket PATH or --tcp [HOST:]PORT";
+    exit 2
+
+let loadgen_cmd =
+  let run profile socket tcp json_out seed duration clients quiet =
+    match Loadgen.Profile.load profile with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" profile e;
+      exit 2
+    | Ok p ->
+      (* Command-line overrides keep one committed profile reusable for
+         quick variations (a different seed, a shorter smoke window). *)
+      let p = match seed with None -> p | Some s -> { p with Loadgen.Profile.p_seed = s } in
+      let p =
+        match duration with
+        | None -> p
+        | Some d when d > 0.0 -> { p with Loadgen.Profile.p_duration_s = d }
+        | Some _ ->
+          prerr_endline "loadgen: --duration must be positive";
+          exit 2
+      in
+      let p =
+        match clients with
+        | None -> p
+        | Some n when n >= 1 ->
+          {
+            p with
+            Loadgen.Profile.p_arrival =
+              (match p.Loadgen.Profile.p_arrival with
+              | Loadgen.Profile.Closed _ -> Loadgen.Profile.Closed { clients = n }
+              | Loadgen.Profile.Open o -> Loadgen.Profile.Open { o with clients = n });
+          }
+        | Some _ ->
+          prerr_endline "loadgen: --clients must be >= 1";
+          exit 2
+      in
+      let log = if quiet then fun _ -> () else prerr_endline in
+      (match Loadgen.Runner.run ~log p (loadgen_target socket tcp) with
+      | Error e ->
+        Printf.eprintf "loadgen: %s\n" e;
+        exit 1
+      | Ok lg ->
+        List.iter print_endline (Loadgen.Runner.summary_lines lg);
+        (match json_out with
+        | None -> ()
+        | Some path ->
+          let run = Loadgen.Runner.record ~argv:(List.tl (Array.to_list Sys.argv)) lg in
+          Uxsm_obs.Bench_json.append_to_file ~path run;
+          Printf.printf "appended loadgen record to %s\n" path))
+  in
+  let profile =
+    Arg.(required & opt (some string) None & info [ "profile" ] ~docv:"FILE.json"
+           ~doc:"Workload profile (see bench/profiles/ for committed examples and \
+                 DESIGN.md section 14 for the schema).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket of a running $(b,uxsm serve).")
+  in
+  let tcp =
+    Arg.(value & opt (some tcp_conv) None & info [ "tcp" ] ~docv:"[HOST:]PORT"
+           ~doc:"TCP endpoint of a running $(b,uxsm serve) (alternative to \
+                 $(b,--socket)).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Append the run record (kind \"loadgen\") to FILE; $(b,uxsm ab) and \
+                 bench/validate.exe read these.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N"
+           ~doc:"Override the profile's sampler seed.")
+  in
+  let duration =
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Override the profile's measurement-window length.")
+  in
+  let clients =
+    Arg.(value & opt (some int) None & info [ "clients" ] ~docv:"N"
+           ~doc:"Override the profile's client-connection count.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress phase progress on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay a workload profile against a running $(b,uxsm serve): seeded \
+             deterministic request sampling (zipfian corpus popularity, weighted query \
+             templates), closed- or open-loop arrivals, warmup then a stats_reset \
+             measurement window, client-side latency histograms. Prints a summary and \
+             optionally appends a \"loadgen\" record to a BENCH_*.json trajectory.")
+    Term.(const run $ profile $ socket $ tcp $ json_out $ seed $ duration $ clients $ quiet)
+
+(* -------------------------------- ab ------------------------------ *)
+
+let ab_cmd =
+  let run file_a file_b tolerance profile =
+    let pick label path =
+      let runs =
+        match open_in path with
+        | exception Sys_error e ->
+          Printf.eprintf "ab: %s\n" e;
+          exit 2
+        | ic ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          (match Uxsm_obs.Bench_json.runs_of_lines s with
+          | Ok runs -> runs
+          | Error e ->
+            Printf.eprintf "ab: %s: %s\n" path e;
+            exit 2)
+      in
+      match Loadgen.Ab.pick ?profile runs with
+      | Ok lg -> lg
+      | Error e ->
+        Printf.eprintf "ab: %s (%s): %s\n" path label e;
+        exit 2
+    in
+    let a = pick "baseline" file_a in
+    let b = pick "candidate" file_b in
+    match Loadgen.Ab.compare_loadgen ~tolerance a b with
+    | Error e ->
+      Printf.eprintf "ab: %s\n" e;
+      exit 2
+    | Ok report ->
+      List.iter print_endline (Loadgen.Ab.report_lines report);
+      if Loadgen.Ab.regressed report then begin
+        prerr_endline "ab: REGRESSION beyond tolerance";
+        exit 1
+      end
+  in
+  let file_a =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE.json"
+           ~doc:"Trajectory file holding the baseline loadgen record (the last \
+                 matching record is used).")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CANDIDATE.json"
+           ~doc:"Trajectory file holding the candidate loadgen record.")
+  in
+  let tolerance =
+    Arg.(value & opt float 0.10 & info [ "tolerance" ] ~docv:"FRACTION"
+           ~doc:"Noise tolerance as a fraction (0.10 = 10%). Throughput may drop and \
+                 latency quantiles may rise by up to this much without tripping the \
+                 gate; the error rate may grow by this fraction of requests.")
+  in
+  let profile =
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"ID"
+           ~doc:"Only compare records of this profile id (default: the last loadgen \
+                 record in each file, whatever its profile).")
+  in
+  Cmd.v
+    (Cmd.info "ab"
+       ~doc:"Compare two loadgen records (same profile) and exit non-zero when the \
+             candidate regresses beyond the tolerance: lower achieved throughput, \
+             higher p50/p95/p99 latency, or a higher error rate. CI runs this as a \
+             smoke gate.")
+    Term.(const run $ file_a $ file_b $ tolerance $ profile)
+
 let () =
   let info =
     Cmd.info "uxsm" ~version:"1.0.0"
@@ -721,4 +889,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; stats_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd; serve_cmd; client_cmd ]))
+          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; stats_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd; serve_cmd; client_cmd; loadgen_cmd; ab_cmd ]))

@@ -16,6 +16,26 @@ type experiment = {
   e_histograms : (string * Obs.hist_view) list;
 }
 
+type loadgen = {
+  lg_profile : string;
+  lg_mode : string;
+  lg_clients : int;
+  lg_target_rps : float option;
+  lg_warmup_seconds : float;
+  lg_window_seconds : float;
+  lg_plan_cache : string;
+  lg_seed : int;
+  lg_sent : int;
+  lg_completed : int;
+  lg_errors : int;
+  lg_overloaded : int;
+  lg_late : int;
+  lg_offered_rps : float;
+  lg_achieved_rps : float;
+  lg_latency : (string * Obs.hist_view) list;
+  lg_server : (string * int) list;
+}
+
 type run = {
   r_git_rev : string;
   r_unix_time : float;
@@ -23,6 +43,8 @@ type run = {
   r_jobs : int;
   r_executor : string;
   r_experiments : experiment list;
+  r_kind : string;
+  r_loadgen : loadgen option;
 }
 
 let experiment ?(params = []) ?(measurements = []) ?snapshot ~id ~title ~wall_seconds () =
@@ -83,16 +105,52 @@ let experiment_to_json e =
     | [] -> []
     | hs -> [ ("histograms", Json.Assoc (List.map (fun (n, v) -> (n, hist_view_to_json v)) hs)) ])
 
+let loadgen_to_json lg =
+  Json.Assoc
+    ([
+       ("profile", Json.String lg.lg_profile);
+       ("mode", Json.String lg.lg_mode);
+       ("clients", Json.Int lg.lg_clients);
+     ]
+    @ (match lg.lg_target_rps with
+      | None -> []
+      | Some r -> [ ("target_rps", Json.Float r) ])
+    @ [
+        ("warmup_seconds", Json.Float lg.lg_warmup_seconds);
+        ("window_seconds", Json.Float lg.lg_window_seconds);
+        ("plan_cache", Json.String lg.lg_plan_cache);
+        ("seed", Json.Int lg.lg_seed);
+        ("sent", Json.Int lg.lg_sent);
+        ("completed", Json.Int lg.lg_completed);
+        ("errors", Json.Int lg.lg_errors);
+        ("overloaded", Json.Int lg.lg_overloaded);
+        ("late", Json.Int lg.lg_late);
+        ("offered_rps", Json.Float lg.lg_offered_rps);
+        ("achieved_rps", Json.Float lg.lg_achieved_rps);
+        ( "latency",
+          Json.Assoc (List.map (fun (n, v) -> (n, hist_view_to_json v)) lg.lg_latency) );
+        ("server", Json.Assoc (List.map (fun (n, v) -> (n, Json.Int v)) lg.lg_server));
+      ])
+
 let run_to_json r =
   Json.Assoc
-    [
-      ("git_rev", Json.String r.r_git_rev);
-      ("unix_time", Json.Float r.r_unix_time);
-      ("argv", Json.List (List.map (fun a -> Json.String a) r.r_argv));
-      ("jobs", Json.Int r.r_jobs);
-      ("executor", Json.String r.r_executor);
-      ("experiments", Json.List (List.map experiment_to_json r.r_experiments));
-    ]
+    ([
+       ("git_rev", Json.String r.r_git_rev);
+       ("unix_time", Json.Float r.r_unix_time);
+       ("argv", Json.List (List.map (fun a -> Json.String a) r.r_argv));
+       ("jobs", Json.Int r.r_jobs);
+       ("executor", Json.String r.r_executor);
+       ("experiments", Json.List (List.map experiment_to_json r.r_experiments));
+     ]
+    (* Kind and payload are omitted for plain bench records so pre-loadgen
+       records round-trip byte-identically. *)
+    @ (match r.r_kind with
+      | "bench" -> []
+      | k -> [ ("kind", Json.String k) ])
+    @
+    match r.r_loadgen with
+    | None -> []
+    | Some lg -> [ ("loadgen", loadgen_to_json lg) ])
 
 let run_to_string r = Json.to_string (run_to_json r)
 
@@ -173,6 +231,41 @@ let opt_field ~default conv name j =
     | Some x -> x
     | None -> failf "field %S has the wrong type" name)
 
+let int_assoc what name j =
+  List.map
+    (fun (n, v) ->
+      match Json.to_int v with
+      | Some i -> (n, i)
+      | None -> failf "%s %S is not an int" what n)
+    (fields name j)
+
+let loadgen_of_json j =
+  {
+    lg_profile = str "profile" j;
+    lg_mode = str "mode" j;
+    lg_clients = get "int" Json.to_int "clients" j;
+    lg_target_rps =
+      (match Json.member "target_rps" j with
+      | None -> None
+      | Some v -> (
+        match Json.to_float v with
+        | Some f -> Some f
+        | None -> failf "field \"target_rps\" is not a number"));
+    lg_warmup_seconds = num "warmup_seconds" j;
+    lg_window_seconds = num "window_seconds" j;
+    lg_plan_cache = str "plan_cache" j;
+    lg_seed = get "int" Json.to_int "seed" j;
+    lg_sent = get "int" Json.to_int "sent" j;
+    lg_completed = get "int" Json.to_int "completed" j;
+    lg_errors = get "int" Json.to_int "errors" j;
+    lg_overloaded = get "int" Json.to_int "overloaded" j;
+    lg_late = get "int" Json.to_int "late" j;
+    lg_offered_rps = num "offered_rps" j;
+    lg_achieved_rps = num "achieved_rps" j;
+    lg_latency = List.map (fun (n, v) -> (n, hist_view_of_json n v)) (fields "latency" j);
+    lg_server = int_assoc "server counter" "server" j;
+  }
+
 let run_of_json j =
   try
     Ok
@@ -189,7 +282,84 @@ let run_of_json j =
               | None -> failf "argv entry is not a string")
             (items "argv" j);
         r_experiments = List.map experiment_of_json (items "experiments" j);
+        r_kind = opt_field ~default:"bench" Json.to_string_opt "kind" j;
+        r_loadgen =
+          (match Json.member "loadgen" j with
+          | None -> None
+          | Some lj -> Some (loadgen_of_json lj));
       }
+  with Fail msg -> Error msg
+
+(* ---------------------------- invariants -------------------------- *)
+
+(* The shared Obs histogram scale has 41 finite buckets; a view keeps only
+   the nonzero ones, so any well-formed view has at most that many. *)
+let max_hist_buckets = 41
+
+let check_hist name (v : Obs.hist_view) =
+  if v.Obs.hv_count < 0 then failf "histogram %S: negative count" name;
+  if v.Obs.hv_overflow < 0 then failf "histogram %S: negative overflow" name;
+  if List.length v.Obs.hv_buckets > max_hist_buckets then
+    failf "histogram %S: %d buckets exceeds the %d-bucket scale" name
+      (List.length v.Obs.hv_buckets) max_hist_buckets;
+  let mass =
+    List.fold_left
+      (fun acc (bound, c) ->
+        if c < 0 then failf "histogram %S: negative bucket count" name;
+        if not (Float.is_finite bound) then failf "histogram %S: non-finite bucket bound" name;
+        acc + c)
+      0 v.Obs.hv_buckets
+  in
+  let rec ascending = function
+    | (b1, _) :: ((b2, _) :: _ as rest) ->
+      if b1 >= b2 then failf "histogram %S: bucket bounds not strictly ascending" name;
+      ascending rest
+    | _ -> ()
+  in
+  ascending v.Obs.hv_buckets;
+  if mass + v.Obs.hv_overflow < v.Obs.hv_count then
+    failf "histogram %S: bucket mass %d + overflow %d below count %d" name mass
+      v.Obs.hv_overflow v.Obs.hv_count
+
+let check_loadgen lg =
+  if String.trim lg.lg_profile = "" then failf "loadgen: empty profile id";
+  (match lg.lg_mode with
+  | "closed" | "open" -> ()
+  | m -> failf "loadgen: unknown mode %S" m);
+  (match lg.lg_plan_cache with
+  | "warm" | "cold" -> ()
+  | p -> failf "loadgen: unknown plan_cache %S" p);
+  if lg.lg_clients < 1 then failf "loadgen: clients must be >= 1";
+  List.iter
+    (fun (what, v) -> if v < 0 then failf "loadgen: negative %s" what)
+    [
+      ("sent", lg.lg_sent); ("completed", lg.lg_completed); ("errors", lg.lg_errors);
+      ("overloaded", lg.lg_overloaded); ("late", lg.lg_late);
+    ];
+  List.iter
+    (fun (what, v) ->
+      if not (Float.is_finite v) || v < 0.0 then failf "loadgen: %s must be finite and >= 0" what)
+    [
+      ("warmup_seconds", lg.lg_warmup_seconds); ("offered_rps", lg.lg_offered_rps);
+      ("achieved_rps", lg.lg_achieved_rps);
+    ];
+  if not (Float.is_finite lg.lg_window_seconds) || lg.lg_window_seconds <= 0.0 then
+    failf "loadgen: window_seconds must be positive";
+  (match lg.lg_target_rps with
+  | Some r when (not (Float.is_finite r)) || r <= 0.0 -> failf "loadgen: target_rps must be positive"
+  | _ -> ());
+  if lg.lg_completed > lg.lg_sent then failf "loadgen: completed exceeds sent";
+  List.iter (fun (n, v) -> check_hist n v) lg.lg_latency
+
+let check_run r =
+  try
+    (match (r.r_kind, r.r_loadgen) with
+    | "loadgen", None -> failf "loadgen record without a \"loadgen\" payload"
+    | "loadgen", Some lg -> check_loadgen lg
+    | "bench", Some _ -> failf "bench record with a \"loadgen\" payload"
+    | "bench", None -> ()
+    | k, _ -> failf "unknown record kind %S" k);
+    Ok ()
   with Fail msg -> Error msg
 
 let run_of_string text =

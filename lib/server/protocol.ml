@@ -27,6 +27,7 @@ type request =
   | Explain of { corpus : string; pattern : string; h : int; tau : float }
   | Save of { corpus : string; h : int; path : string option }
   | Stats
+  | Stats_reset
   | Shutdown
 
 type envelope = {
@@ -48,10 +49,11 @@ let op_name = function
   | Explain _ -> "explain"
   | Save _ -> "save"
   | Stats -> "stats"
+  | Stats_reset -> "stats_reset"
   | Shutdown -> "shutdown"
 
 let is_pure = function
-  | Register _ | Shutdown -> false
+  | Register _ | Stats_reset | Shutdown -> false
   | Ping | Match _ | Mappings _ | Query _ | Explain _ | Save _ | Stats -> true
 
 (* ------------------------------ decoding -------------------------- *)
@@ -160,6 +162,7 @@ let request_of_json j =
     let op = "save" in
     Save { corpus = corpus_of op j; h = h_of op j; path = str_opt op "path" j }
   | "stats" -> Stats
+  | "stats_reset" -> Stats_reset
   | "shutdown" -> Shutdown
   | op -> failf "unknown op %S" op
 
@@ -209,7 +212,7 @@ let to_json { id; req } =
     | Save { corpus; h; path } ->
       [ ("corpus", Json.String corpus); ("h", Json.Int h) ]
       @ (match path with None -> [] | Some p -> [ ("path", Json.String p) ])
-    | Stats | Shutdown -> []
+    | Stats | Stats_reset | Shutdown -> []
   in
   Json.Assoc (id_field @ (("op", Json.String (op_name req)) :: fields))
 

@@ -44,6 +44,20 @@ type request =
   | Explain of { corpus : string; pattern : string; h : int; tau : float }
   | Save of { corpus : string; h : int; path : string option }
   | Stats
+  | Stats_reset
+      (** Zero every process-global [Uxsm_obs] counter, span and histogram
+          so a measurement window (e.g. a load-generator run after its
+          warmup phase) starts from a clean slate. {b Barrier semantics}:
+          like [Register], the op is not pure, so within a pipeline every
+          request admitted before it completes (and is counted) before the
+          reset executes, and every later request lands in the fresh
+          window. The state is process-global — concurrent traffic on
+          {e other} connections that is still in flight when the reset
+          runs is split across the boundary; a load generator must quiesce
+          its own workers before issuing it. Cache hit/miss/eviction
+          totals and live gauges are not [Obs] state and are unaffected.
+          The reset request's own latency observation is the first sample
+          of the new window. *)
   | Shutdown
 
 type envelope = {
@@ -60,12 +74,12 @@ val default_tau : float
 val op_name : request -> string
 (** The wire name: ["ping"], ["register"], ["match"], ["mappings"],
     ["query"], ["query_topk"], ["explain"], ["save"], ["stats"],
-    ["shutdown"]. *)
+    ["stats_reset"], ["shutdown"]. *)
 
 val is_pure : request -> bool
-(** [true] when the request neither mutates the catalog nor stops the
-    server, so a batch of them may be dispatched concurrently.
-    [Register] and [Shutdown] are the barriers. *)
+(** [true] when the request neither mutates server-global state nor stops
+    the server, so a batch of them may be dispatched concurrently.
+    [Register], [Stats_reset] and [Shutdown] are the barriers. *)
 
 type parse_error = {
   err_id : Uxsm_util.Json.t option;

@@ -37,7 +37,7 @@ let op_latencies =
   List.map
     (fun op -> (op, op_latency op))
     [ "ping"; "register"; "match"; "mappings"; "query"; "query_topk"; "explain"; "save";
-      "stats"; "shutdown" ]
+      "stats"; "stats_reset"; "shutdown" ]
 
 let latency_of op =
   match List.assoc_opt op op_latencies with
@@ -257,6 +257,15 @@ let dispatch t (req : Protocol.request) : (string * Json.t) list =
                (n, Json.Assoc [ ("count", Json.Int count); ("seconds", Json.Float seconds) ]))
              snap.Obs.snap_spans) );
     ]
+  | Protocol.Stats_reset ->
+    (* The measurement-window barrier: zero every Obs counter, span and
+       histogram (process-global — see the Protocol docs for the pipeline
+       semantics). Dispatched as a non-pure request, so every earlier
+       request of the batch has completed and been counted before this
+       runs. Cache hit/miss totals and live gauges are not Obs state and
+       survive. *)
+    Obs.reset ();
+    [ ("reset", Json.Bool true) ]
   | Protocol.Shutdown ->
     request_stop t;
     [ ("stopping", Json.Bool true) ]

@@ -41,7 +41,10 @@
     endpoint serves counters, spans, histogram quantiles (p50/p95/p99)
     and live service gauges (active connections, queue depth/capacity,
     overload rejections, executor contention) together with the cache
-    and catalog state. *)
+    and catalog state. The [stats_reset] endpoint zeroes the Obs
+    counters, spans and histograms — a measurement-window barrier for
+    load generators (see {!Protocol.request} for its exact pipeline and
+    cross-connection semantics). *)
 
 type t
 

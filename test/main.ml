@@ -20,6 +20,7 @@ let () =
       ("plan", Test_plan.suite);
       ("ptq", Test_ptq.suite);
       ("workload", Test_workload.suite);
+      ("loadgen", Test_loadgen.suite);
       ("server", Test_server.suite);
       ("lint", Test_lint.suite);
       ("extensions", Test_extensions.suite);

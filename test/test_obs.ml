@@ -317,6 +317,8 @@ let sample_run () =
     r_jobs = 4;
     r_executor = "domains";
     r_experiments = [ e1; e2 ];
+    r_kind = "bench";
+    r_loadgen = None;
   }
 
 let test_bench_json_roundtrip () =
@@ -458,6 +460,113 @@ let test_bench_jsonl_error_location () =
     Alcotest.(check bool) ("line number reported: " ^ e) true
       (String.length e >= 7 && String.sub e 0 7 = "line 2:")
 
+let sample_loadgen () =
+  Obs.reset ();
+  let h = Obs.histogram "test.loadgen_lat" in
+  List.iter (Obs.observe h) [ 0.0012; 0.0034; 0.0100; 0.0450 ];
+  {
+    Bench_json.lg_profile = "smoke";
+    lg_mode = "open";
+    lg_clients = 4;
+    lg_target_rps = Some 40.0;
+    lg_warmup_seconds = 1.0;
+    lg_window_seconds = 5.002;
+    lg_plan_cache = "cold";
+    lg_seed = 42;
+    lg_sent = 198;
+    lg_completed = 195;
+    lg_errors = 2;
+    lg_overloaded = 1;
+    lg_late = 3;
+    lg_offered_rps = 40.2;
+    lg_achieved_rps = 38.99;
+    lg_latency = [ ("all", Obs.histogram_view h) ];
+    lg_server = [ ("server.requests", 195); ("server.errors", 0) ];
+  }
+
+let test_bench_json_loadgen_record () =
+  let lg = sample_loadgen () in
+  let run =
+    {
+      (sample_run ()) with
+      Bench_json.r_kind = "loadgen";
+      r_executor = "loadgen";
+      r_experiments = [];
+      r_loadgen = Some lg;
+    }
+  in
+  (match Bench_json.check_run run with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid loadgen record rejected: %s" e);
+  (match Bench_json.run_of_string (Bench_json.run_to_string run) with
+  | Error e -> Alcotest.failf "loadgen record round-trip failed: %s" e
+  | Ok run' -> (
+    Alcotest.(check string) "kind survives" "loadgen" run'.Bench_json.r_kind;
+    match run'.Bench_json.r_loadgen with
+    | None -> Alcotest.fail "payload lost"
+    | Some lg' ->
+      Alcotest.(check string) "profile" "smoke" lg'.Bench_json.lg_profile;
+      Alcotest.(check bool) "target rps survives" true
+        (lg'.Bench_json.lg_target_rps = Some 40.0);
+      Alcotest.(check int) "late count" 3 lg'.Bench_json.lg_late;
+      Alcotest.(check bool) "histogram survives intact" true
+        (lg'.Bench_json.lg_latency = lg.Bench_json.lg_latency);
+      Alcotest.(check bool) "server counters survive" true
+        (lg'.Bench_json.lg_server = lg.Bench_json.lg_server)));
+  (* Bench-kind records do not even mention the new fields on the wire:
+     files written before this record kind existed stay byte-stable. *)
+  let bench_line = Bench_json.run_to_string (sample_run ()) in
+  List.iter
+    (fun needle ->
+      let rec mem i =
+        i + String.length needle <= String.length bench_line
+        && (String.sub bench_line i (String.length needle) = needle || mem (i + 1))
+      in
+      Alcotest.(check bool) (needle ^ " absent from bench records") false (mem 0))
+    [ "\"kind\""; "\"loadgen\"" ]
+
+let test_bench_json_check_run_invariants () =
+  let lg = sample_loadgen () in
+  let run = sample_run () in
+  let rejected what r =
+    match Bench_json.check_run r with
+    | Ok () -> Alcotest.failf "%s: expected rejection" what
+    | Error _ -> ()
+  in
+  (match Bench_json.check_run run with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "plain bench record rejected: %s" e);
+  rejected "loadgen kind without payload" { run with Bench_json.r_kind = "loadgen" };
+  rejected "bench kind with payload" { run with Bench_json.r_loadgen = Some lg };
+  rejected "unknown kind" { run with Bench_json.r_kind = "mystery" };
+  let lg_run payload =
+    { run with Bench_json.r_kind = "loadgen"; r_loadgen = Some payload }
+  in
+  rejected "empty profile id" (lg_run { lg with Bench_json.lg_profile = "" });
+  rejected "unknown mode" (lg_run { lg with Bench_json.lg_mode = "burst" });
+  rejected "unknown plan cache" (lg_run { lg with Bench_json.lg_plan_cache = "tepid" });
+  rejected "zero clients" (lg_run { lg with Bench_json.lg_clients = 0 });
+  rejected "negative errors" (lg_run { lg with Bench_json.lg_errors = -1 });
+  rejected "completed exceeds sent" (lg_run { lg with Bench_json.lg_completed = 999 });
+  rejected "non-positive window" (lg_run { lg with Bench_json.lg_window_seconds = 0.0 });
+  rejected "negative throughput" (lg_run { lg with Bench_json.lg_achieved_rps = -1.0 });
+  rejected "non-positive target rps" (lg_run { lg with Bench_json.lg_target_rps = Some 0.0 });
+  let bad_hist =
+    { Obs.hv_count = -1; hv_sum = 0.0; hv_buckets = []; hv_overflow = 0 }
+  in
+  rejected "negative histogram count"
+    (lg_run { lg with Bench_json.lg_latency = [ ("all", bad_hist) ] });
+  let too_many =
+    {
+      Obs.hv_count = 50;
+      hv_sum = 1.0;
+      hv_buckets = List.init 50 (fun i -> (float_of_int (i + 1), 1));
+      hv_overflow = 0;
+    }
+  in
+  rejected "histogram bucket arity"
+    (lg_run { lg with Bench_json.lg_latency = [ ("all", too_many) ] })
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -476,5 +585,7 @@ let suite =
     Alcotest.test_case "bench record round-trip" `Quick test_bench_json_roundtrip;
     Alcotest.test_case "bench record pre-executor shape" `Quick test_bench_json_old_shape;
     Alcotest.test_case "bench JSONL append + parse" `Quick test_bench_json_file_append;
+    Alcotest.test_case "loadgen record kind round-trip" `Quick test_bench_json_loadgen_record;
+    Alcotest.test_case "check_run invariants" `Quick test_bench_json_check_run_invariants;
     Alcotest.test_case "bench JSONL error location" `Quick test_bench_jsonl_error_location;
   ]

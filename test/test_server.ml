@@ -281,6 +281,43 @@ let test_dispatch_basic () =
     | Error e -> Alcotest.failf "saved text does not load: %s" e
     | Ok mset -> Alcotest.(check int) "saved set size" 5 (Mapping_set.size mset)))
 
+(* stats_reset: zeroes the Obs window so a load generator can open a
+   clean measurement window; it is a barrier (not pure), so in a
+   pipelined batch everything sent before it is counted before the
+   reset and everything after lands in the fresh window. *)
+let test_stats_reset () =
+  Obs.reset ();
+  let srv = Server.create ~cache_entries:16 () in
+  assert_ok "register" (response_of_line srv (register_line "rst"));
+  for _ = 1 to 3 do
+    assert_ok "ping" (response_of_line srv {|{"op":"ping"}|})
+  done;
+  assert_ok "mappings" (response_of_line srv {|{"op":"mappings","corpus":"rst","h":5}|});
+  let before = response_of_line srv {|{"op":"stats"}|} in
+  Alcotest.(check bool) "window populated before reset" true
+    (counter_value before "server.requests" >= 5);
+  let reset = response_of_line srv {|{"op":"stats_reset","id":"w0"}|} in
+  assert_ok "stats_reset" reset;
+  Alcotest.(check bool) "reset reply says so" true
+    (Json.member "reset" reset = Some (Json.Bool true));
+  Alcotest.(check bool) "reset echoes id" true
+    (Json.member "id" reset = Some (Json.String "w0"));
+  let after = response_of_line srv {|{"op":"stats"}|} in
+  (* Only the reset itself and this stats request can be in the new
+     window, however the wrapper orders its counting. *)
+  Alcotest.(check bool) "window cleared" true (counter_value after "server.requests" <= 2);
+  Alcotest.(check bool) "reset is a pipeline barrier" false
+    (Protocol.is_pure Protocol.Stats_reset);
+  (* The op round-trips through the codec like any other. *)
+  match Protocol.parse_line {|{"op":"stats_reset"}|} with
+  | Error e -> Alcotest.failf "stats_reset does not parse: %s" e.Protocol.message
+  | Ok env ->
+    Alcotest.(check string) "op name" "stats_reset" (Protocol.op_name env.Protocol.req);
+    (match Protocol.parse (Protocol.to_json env) with
+    | Ok env' ->
+      Alcotest.(check bool) "codec round-trip" true (env'.Protocol.req = Protocol.Stats_reset)
+    | Error e -> Alcotest.failf "stats_reset does not re-parse: %s" e.Protocol.message)
+
 let test_dispatch_errors_never_crash () =
   let srv = Server.create () in
   assert_error "garbage" (response_of_line srv "this is not json");
@@ -812,6 +849,7 @@ let suite =
     Alcotest.test_case "protocol errors name fields" `Quick test_protocol_errors;
     Alcotest.test_case "protocol round-trip" `Quick test_protocol_round_trip;
     Alcotest.test_case "dispatch endpoints" `Quick test_dispatch_basic;
+    Alcotest.test_case "stats_reset opens a fresh window" `Quick test_stats_reset;
     Alcotest.test_case "malformed input never crashes" `Quick test_dispatch_errors_never_crash;
     Alcotest.test_case "identical queries amortize (e2e)" `Quick test_query_amortization;
     Alcotest.test_case "eviction rebuilds, answers unchanged" `Quick test_cache_eviction_rebuilds;
