@@ -506,25 +506,26 @@ let abl_serve () =
   (* The same load as a real service: N pipelining TCP clients over the
      shared bounded queue and the dispatcher's pool fan-out. *)
   let port_box = ref 0 in
-  let m = Mutex.create () and c = Condition.create () and up = ref false in
+  let m = Uxsm_util.Locks.create ~name:"bench.ready" ~rank:Uxsm_util.Locks.rank_latch in
+  let c = Uxsm_util.Locks.cond () and up = ref false in
   let th =
     Thread.create
       (fun () ->
         Server.serve_tcp
           ~ready:(fun p ->
-            Mutex.lock m;
+            Uxsm_util.Locks.lock m;
             port_box := p;
             up := true;
-            Condition.signal c;
-            Mutex.unlock m)
+            Uxsm_util.Locks.signal c;
+            Uxsm_util.Locks.unlock m)
           srv ~host:"127.0.0.1" ~port:0)
       ()
   in
-  Mutex.lock m;
+  Uxsm_util.Locks.lock m;
   while not !up do
-    Condition.wait c m
+    Uxsm_util.Locks.wait c m
   done;
-  Mutex.unlock m;
+  Uxsm_util.Locks.unlock m;
   let port = !port_box in
   let burst () =
     let clients =

@@ -123,5 +123,6 @@ let top ?(exec = Uxsm_exec.Executor.sequential) ?order ~h g =
        job's size in rough node-visit-equivalent units. *)
     let total_edges = List.fold_left (fun acc c -> acc + List.length c.edges) 0 comps in
     let cost_hint = float_of_int h *. float_of_int total_edges in
+    (* lint: allow blocking-under-lock — reachable under Dataset's memo locks; the fan-out never blocks on the pool (try_lock or sequential fallback) and the jobs are pure compute, so the hold is bounded by the ranking work itself *)
     let ranked = Uxsm_exec.Executor.map_list ~cost_hint exec local_top comps in
     List.fold_left (fun acc local -> merge ~h acc local) [ empty_solution ] ranked

@@ -1,4 +1,5 @@
 module Obs = Uxsm_obs.Obs
+module Locks = Uxsm_util.Locks
 
 (* Observability: the executor's scheduling decisions, so the fix for the
    per-call-spawn regression stays measurable. [domains_spawned] counts
@@ -89,54 +90,54 @@ let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
    condition per worker keeps submission free of generation counters and
    thundering-herd wakeups — pools here are a handful of domains wide. *)
 type worker = {
-  w_mutex : Mutex.t;
-  w_cond : Condition.t;
+  w_lock : Locks.t;
+  w_cond : Locks.cond;
   mutable w_job : (unit -> unit) option;
   mutable w_stop : bool;
   mutable w_domain : unit Domain.t option;
 }
 
 let rec worker_loop w =
-  Mutex.lock w.w_mutex;
+  Locks.lock w.w_lock;
   while w.w_job = None && not w.w_stop do
-    Condition.wait w.w_cond w.w_mutex
+    Locks.wait w.w_cond w.w_lock
   done;
-  if w.w_stop then Mutex.unlock w.w_mutex
+  if w.w_stop then Locks.unlock w.w_lock
   else begin
     let job =
       match w.w_job with
       | Some j -> j
       | None -> assert false
     in
-    Mutex.unlock w.w_mutex;
+    Locks.unlock w.w_lock;
     (* The job closure confines every exception to its shared error slot;
        this handler only shields the pool from a bug in that closure. *)
     (* lint: allow catch-all — a worker must survive any job to stay parkable; jobs record their own errors *)
     (try job () with _ -> ());
-    Mutex.lock w.w_mutex;
+    Locks.lock w.w_lock;
     w.w_job <- None;
-    Condition.broadcast w.w_cond;
-    Mutex.unlock w.w_mutex;
+    Locks.broadcast w.w_cond;
+    Locks.unlock w.w_lock;
     worker_loop w
   end
 
-(* Pool state. [pool_mutex] serializes pool growth, bulk submission and
+(* Pool state. [pool_lock] serializes pool growth, bulk submission and
    shutdown: exactly one bulk operation drives the workers at a time (a
    concurrent bulk call from another domain degrades to sequential rather
    than blocking), so workers only ever synchronize through their own
    mailboxes. *)
-(* lint: allow domain-unsafe — all access is under pool_mutex (see above) *)
+(* lint: allow domain-unsafe — all access is under pool_lock (see above) *)
 let pool : worker array ref = ref [||]
 
-let pool_mutex = Mutex.create ()
+let pool_lock = Locks.create ~name:"exec.pool" ~rank:Locks.rank_pool
 
-(* lint: allow domain-unsafe — read/written only under pool_mutex *)
+(* lint: allow domain-unsafe — read/written only under pool_lock *)
 let exit_hook_registered = ref false
 
 let spawn_worker () =
   let w =
-    { w_mutex = Mutex.create (); w_cond = Condition.create (); w_job = None; w_stop = false;
-      w_domain = None }
+    { w_lock = Locks.create ~name:"exec.worker" ~rank:Locks.rank_worker_mailbox;
+      w_cond = Locks.cond (); w_job = None; w_stop = false; w_domain = None }
   in
   Obs.incr c_spawned;
   let d =
@@ -147,34 +148,29 @@ let spawn_worker () =
   w.w_domain <- Some d;
   w
 
-(* Callers: must hold [pool_mutex]. *)
+(* Callers: must hold [pool_lock]. *)
 let shutdown_locked () =
   Array.iter
     (fun w ->
-      Mutex.lock w.w_mutex;
+      Locks.lock w.w_lock;
       w.w_stop <- true;
-      Condition.broadcast w.w_cond;
-      Mutex.unlock w.w_mutex)
+      Locks.broadcast w.w_cond;
+      Locks.unlock w.w_lock)
     !pool;
   Array.iter
     (fun w ->
       match w.w_domain with
+      (* lint: allow blocking-under-lock — joining under pool_lock is the shutdown contract: every worker has just been told to stop (it parks on its own mailbox and never takes pool_lock), and holding the lock keeps a concurrent submitter from re-growing the pool mid-shutdown *)
       | Some d -> Domain.join d
       | None -> ())
     !pool;
   pool := [||]
 
-let shutdown () =
-  Mutex.lock pool_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock pool_mutex) shutdown_locked
+let shutdown () = Locks.with_lock pool_lock shutdown_locked
 
-let pool_width () =
-  Mutex.lock pool_mutex;
-  let n = Array.length !pool in
-  Mutex.unlock pool_mutex;
-  n
+let pool_width () = Locks.with_lock pool_lock (fun () -> Array.length !pool)
 
-(* Must hold [pool_mutex]. Grows the pool to [n] workers; the pool keeps
+(* Must hold [pool_lock]. Grows the pool to [n] workers; the pool keeps
    its high-water width until [shutdown] (workers park when idle). *)
 let ensure_pool_locked n =
   if not !exit_hook_registered then begin
@@ -240,10 +236,10 @@ let parallel_map_locked ~members f (arr : 'a array) : 'b array =
   let assigned = Array.sub !pool 0 helpers in
   Array.iter
     (fun w ->
-      Mutex.lock w.w_mutex;
+      Locks.lock w.w_lock;
       w.w_job <- Some job;
-      Condition.broadcast w.w_cond;
-      Mutex.unlock w.w_mutex)
+      Locks.broadcast w.w_cond;
+      Locks.unlock w.w_lock)
     assigned;
   (* The calling domain participates as the pool's last member, then waits
      for every assigned worker to drain its mailbox. *)
@@ -254,11 +250,11 @@ let parallel_map_locked ~members f (arr : 'a array) : 'b array =
       work ();
       Array.iter
         (fun w ->
-          Mutex.lock w.w_mutex;
+          Locks.lock w.w_lock;
           while w.w_job <> None do
-            Condition.wait w.w_cond w.w_mutex
+            Locks.wait w.w_cond w.w_lock
           done;
-          Mutex.unlock w.w_mutex)
+          Locks.unlock w.w_lock)
         assigned);
   (match Atomic.get error with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -285,9 +281,9 @@ let map_array ?cost_hint t f arr =
         Obs.incr c_gate_seq;
         Array.map f arr
       | _ ->
-        if Mutex.try_lock pool_mutex then
+        if Locks.try_lock pool_lock then
           Fun.protect
-            ~finally:(fun () -> Mutex.unlock pool_mutex)
+            ~finally:(fun () -> Locks.unlock pool_lock)
             (fun () ->
               parallel_map_locked ~members:(min pool_size (Array.length arr)) f arr)
         else begin

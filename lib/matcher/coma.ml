@@ -69,6 +69,7 @@ let score_matrix ?(exec = Executor.sequential) cfg source target =
   let shared = if Executor.is_parallel exec then None else Some (memoized_name_sim cfg) in
   let cost_hint = float_of_int (ns * nt) *. pair_units in
   let rows =
+    (* lint: allow blocking-under-lock — reachable under the catalog shard and Dataset memo locks; the fan-out never blocks on the pool (try_lock or sequential fallback) and scoring is pure compute, so the hold is bounded by the matrix itself *)
     Executor.map_array ~cost_hint exec
       (fun x ->
         let name_sim =

@@ -24,17 +24,17 @@ type span = {
   s_local : span_local Domain.DLS.key;
 }
 
-let registry_mutex = Mutex.create ()
+module Locks = Uxsm_util.Locks
 
-(* lint: allow domain-unsafe — registry tables are only touched under registry_mutex *)
+let registry_lock = Locks.create ~name:"obs.registry" ~rank:Locks.rank_registry
+
+(* lint: allow domain-unsafe — registry tables are only touched under registry_lock *)
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
 
-(* lint: allow domain-unsafe — registry tables are only touched under registry_mutex *)
+(* lint: allow domain-unsafe — registry tables are only touched under registry_lock *)
 let spans_tbl : (string, span) Hashtbl.t = Hashtbl.create 16
 
-let with_registry f =
-  Mutex.lock registry_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+let with_registry f = Locks.with_lock registry_lock f
 
 let counter name =
   with_registry @@ fun () ->
@@ -46,6 +46,18 @@ let counter name =
     c
 
 let incr c = Atomic.incr c.c_value
+
+(* The lock witness's violation counter, surfaced through the normal
+   metrics pipeline: CI and the stats endpoint gate on it staying zero.
+   Installed at load time so any program that links the Obs layer (every
+   driver in this repo) gets the mirror for free. The hook body touches
+   only the counter's atomic — no ranked lock is taken on the violation
+   path. *)
+let c_lock_violations = { c_name = "locks.order_violations"; c_value = Atomic.make 0 }
+
+let () =
+  Hashtbl.add counters_tbl c_lock_violations.c_name c_lock_violations;
+  Locks.set_violation_hook (fun _ -> Atomic.incr c_lock_violations.c_value)
 
 let add c n =
   if n < 0 then invalid_arg "Obs.add: counters only count up";
@@ -130,7 +142,7 @@ type histogram = {
   h_buckets : int Atomic.t array;  (* hist_bucket_count + 1: last = overflow *)
 }
 
-(* lint: allow domain-unsafe — registry table is only touched under registry_mutex *)
+(* lint: allow domain-unsafe — registry table is only touched under registry_lock *)
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let histogram name =

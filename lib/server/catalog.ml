@@ -1,4 +1,5 @@
 module Executor = Uxsm_exec.Executor
+module Locks = Uxsm_util.Locks
 module Obs = Uxsm_obs.Obs
 module Matching = Uxsm_mapping.Matching
 module Mapping_set = Uxsm_mapping.Mapping_set
@@ -71,32 +72,32 @@ type entry = {
    The spec is an atomic (readable by the corpora listing without the
    shard lock); the LRU structure is owned by [sh_lock]. *)
 type shard = {
-  sh_lock : Mutex.t;
+  sh_lock : Locks.t;
   sh_cache : (key, artifact) Lru.t;
   sh_entry : entry option Atomic.t;
 }
 
 type t = {
   exec : Executor.t;
-  lock : Mutex.t;  (** guards [shards] (the name → shard map), nothing else *)
+  lock : Locks.t;  (** guards [shards] (the name → shard map), nothing else *)
   shards : (string, shard) Hashtbl.t;
   cache_entries : int;  (** per-shard LRU capacity *)
 }
 
 let create ?(cache_entries = 64) ~exec () =
-  { exec; lock = Mutex.create (); shards = Hashtbl.create 8; cache_entries }
+  { exec; lock = Locks.create ~name:"catalog.map" ~rank:Locks.rank_catalog_map;
+    shards = Hashtbl.create 8; cache_entries }
 
 let executor t = t.exec
 
 (* Lock protocol: the global [t.lock] is only ever taken on its own (shard
    lookup/creation, shard enumeration) and released before any shard lock
-   is acquired — so lock acquisition never nests and cannot deadlock.
-   Artifact builds run under the owning shard's lock only: concurrent
-   requests for the same corpus build once (the loser waits), requests for
-   different corpora build in parallel. *)
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+   is acquired — the ranks (catalog.map=14 < catalog.shard=20) encode the
+   one legal nesting direction should that ever change. Artifact builds
+   run under the owning shard's lock only: concurrent requests for the
+   same corpus build once (the loser waits), requests for different
+   corpora build in parallel. *)
+let with_lock = Locks.with_lock
 
 let shard_find t name = with_lock t.lock (fun () -> Hashtbl.find_opt t.shards name)
 
@@ -107,7 +108,8 @@ let shard_find_or_create t name =
       | None ->
         let sh =
           {
-            sh_lock = Mutex.create ();
+            sh_lock =
+              Locks.create ~name:("catalog.shard." ^ name) ~rank:Locks.rank_shard;
             sh_cache = Lru.create ~capacity:t.cache_entries;
             sh_entry = Atomic.make None;
           }

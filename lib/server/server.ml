@@ -1,4 +1,5 @@
 module Json = Uxsm_util.Json
+module Locks = Uxsm_util.Locks
 module Executor = Uxsm_exec.Executor
 module Obs = Uxsm_obs.Obs
 module Timing = Uxsm_util.Timing
@@ -379,6 +380,7 @@ let serve_channels t ic oc =
 let write_all fd s =
   let n = String.length s in
   let rec go off =
+    (* lint: allow blocking-under-lock — cn_wlock exists precisely to serialize whole-response writes on one socket; a slow peer stalls only its own connection's writers, never another lock *)
     if off < n then go (off + Unix.write_substring fd s off (n - off))
   in
   go 0
@@ -407,7 +409,7 @@ let drain_lines buf =
 type conn = {
   cn_id : int;  (** per-connection id, assigned at accept, 1-based *)
   cn_fd : Unix.file_descr;
-  cn_wlock : Mutex.t;
+  cn_wlock : Locks.t;
       (** serializes writes: the dispatcher (responses) and the reader
           (overload rejections) both write — one whole line per [write_all]
           under this lock, so lines never tear or interleave *)
@@ -425,8 +427,8 @@ type service = {
   srv : t;
   capacity : int;
   q : item Queue.t;  (** guarded by [m] *)
-  m : Mutex.t;
-  nonempty : Condition.t;
+  m : Locks.t;
+  nonempty : Locks.cond;
   mutable readers_live : int;  (** guarded by [m] *)
 }
 
@@ -436,12 +438,12 @@ type service = {
    no writer can start on a closed fd. *)
 let maybe_close g conn =
   if Atomic.get conn.cn_eof && Atomic.get conn.cn_pending = 0 then begin
-    Mutex.lock conn.cn_wlock;
+    Locks.lock conn.cn_wlock;
     let close_now =
       (not (Atomic.get conn.cn_closed)) && Atomic.get conn.cn_pending = 0
     in
     if close_now then Atomic.set conn.cn_closed true;
-    Mutex.unlock conn.cn_wlock;
+    Locks.unlock conn.cn_wlock;
     if close_now then begin
       ignore (Atomic.fetch_and_add g.g_conns_active (-1));
       try Unix.close conn.cn_fd with Unix.Unix_error _ -> ()
@@ -449,9 +451,9 @@ let maybe_close g conn =
   end
 
 let write_response conn resp =
-  Mutex.lock conn.cn_wlock;
+  Locks.lock conn.cn_wlock;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.cn_wlock)
+    ~finally:(fun () -> Locks.unlock conn.cn_wlock)
     (fun () ->
       if not (Atomic.get conn.cn_closed) then begin
         let out = resp ^ "\n" in
@@ -470,10 +472,10 @@ let line_id line =
   | Error _ -> None
 
 let admit sv conn line =
-  Mutex.lock sv.m;
+  Locks.lock sv.m;
   let depth = Queue.length sv.q in
   if depth >= sv.capacity then begin
-    Mutex.unlock sv.m;
+    Locks.unlock sv.m;
     Obs.incr c_overloaded;
     write_response conn (Json.to_string (Protocol.overloaded_response ?id:(line_id line) ()))
   end
@@ -481,8 +483,8 @@ let admit sv conn line =
     Atomic.incr conn.cn_pending;
     Queue.push { it_conn = conn; it_line = line } sv.q;
     Atomic.set sv.srv.gauges.g_queue_depth (depth + 1);
-    Condition.signal sv.nonempty;
-    Mutex.unlock sv.m;
+    Locks.signal sv.nonempty;
+    Locks.unlock sv.m;
     Obs.observe h_queue_depth (float_of_int (depth + 1))
   end
 
@@ -507,10 +509,10 @@ let reader sv conn =
   (try loop () with Unix.Unix_error _ -> ());
   Atomic.set conn.cn_eof true;
   maybe_close sv.srv.gauges conn;
-  Mutex.lock sv.m;
+  Locks.lock sv.m;
   sv.readers_live <- sv.readers_live - 1;
-  Condition.broadcast sv.nonempty;
-  Mutex.unlock sv.m
+  Locks.broadcast sv.nonempty;
+  Locks.unlock sv.m
 
 (* Answer one popped batch. Items are processed in arrival order and each
    run's responses are written back in that same order, so every
@@ -549,7 +551,7 @@ let max_dispatch_batch = 64
 let dispatcher sv =
   let t = sv.srv in
   let rec loop () =
-    Mutex.lock sv.m;
+    Locks.lock sv.m;
     let rec await () =
       if not (Queue.is_empty sv.q) then begin
         let batch = ref [] in
@@ -563,12 +565,12 @@ let dispatcher sv =
       end
       else if stopping t && sv.readers_live = 0 then None
       else begin
-        Condition.wait sv.nonempty sv.m;
+        Locks.wait sv.nonempty sv.m;
         await ()
       end
     in
     let batch = await () in
-    Mutex.unlock sv.m;
+    Locks.unlock sv.m;
     match batch with
     | None -> ()
     | Some items ->
@@ -621,8 +623,8 @@ let serve ?(max_queue = 256) ?ready t endpoints =
       srv = t;
       capacity = max_queue;
       q = Queue.create ();
-      m = Mutex.create ();
-      nonempty = Condition.create ();
+      m = Locks.create ~name:"server.queue" ~rank:Locks.rank_queue;
+      nonempty = Locks.cond ();
       readers_live = 0;
     }
   in
@@ -659,7 +661,10 @@ let serve ?(max_queue = 256) ?ready t endpoints =
                     {
                       cn_id = !next_id;
                       cn_fd = fd;
-                      cn_wlock = Mutex.create ();
+                      cn_wlock =
+                        Locks.create
+                          ~name:(Printf.sprintf "server.conn.%d" !next_id)
+                          ~rank:Locks.rank_conn_write;
                       cn_pending = Atomic.make 0;
                       cn_eof = Atomic.make false;
                       cn_closed = Atomic.make false;
@@ -668,9 +673,9 @@ let serve ?(max_queue = 256) ?ready t endpoints =
                   Obs.incr c_connections;
                   Atomic.incr t.gauges.g_conns_active;
                   conns := conn :: !conns;
-                  Mutex.lock sv.m;
+                  Locks.lock sv.m;
                   sv.readers_live <- sv.readers_live + 1;
-                  Mutex.unlock sv.m;
+                  Locks.unlock sv.m;
                   threads := Thread.create (reader sv) conn :: !threads
                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
               ready_socks
@@ -678,9 +683,9 @@ let serve ?(max_queue = 256) ?ready t endpoints =
           (* Periodic wake-up so the dispatcher re-checks [stopping] even
              when no reader ever signals (a signal-delivered stop with an
              idle queue). *)
-          Mutex.lock sv.m;
-          Condition.broadcast sv.nonempty;
-          Mutex.unlock sv.m;
+          Locks.lock sv.m;
+          Locks.broadcast sv.nonempty;
+          Locks.unlock sv.m;
           accept_loop ()
         end
       in
@@ -689,9 +694,9 @@ let serve ?(max_queue = 256) ?ready t endpoints =
          retire; the dispatcher answers everything admitted so far, then
          exits once the queue is empty and no reader remains. *)
       List.iter Thread.join !threads;
-      Mutex.lock sv.m;
-      Condition.broadcast sv.nonempty;
-      Mutex.unlock sv.m;
+      Locks.lock sv.m;
+      Locks.broadcast sv.nonempty;
+      Locks.unlock sv.m;
       Thread.join disp;
       (* Every connection should have latched closed via its reader or its
          last answered request; sweep for robustness. *)

@@ -33,19 +33,21 @@ let d7 =
 (* The memo tables are process-global so concurrent callers (the server
    dispatches batches of pure requests across domains) must serialize
    around them. Each table gets its own lock; [mapping_set] calls
-   [matching] while holding only its own, so the locks never nest on the
-   same mutex. Holding the lock across the miss path means a concurrent
+   [matching] while holding its own, so the nesting is always
+   mset (40) → matching (44), in rank order. Holding the lock across the
+   miss path means a concurrent
    request for the same dataset waits instead of duplicating the work. *)
-let matching_mutex = Mutex.create ()
+let matching_lock =
+  Uxsm_util.Locks.create ~name:"dataset.matching" ~rank:Uxsm_util.Locks.rank_dataset_matching
 
-(* lint: allow domain-unsafe — guarded by matching_mutex *)
+(* lint: allow domain-unsafe — guarded by matching_lock *)
 let matching_cache : (string * int, Uxsm_mapping.Matching.t) Hashtbl.t = Hashtbl.create 16
 
 (* [exec] is deliberately absent from the cache keys below: every backend
    produces bit-identical results (see Uxsm_exec.Executor), so a hit cached
    under one backend is a valid answer under any other. *)
 let matching ?(seed = 42) ?(exec = Uxsm_exec.Executor.sequential) d =
-  Mutex.protect matching_mutex @@ fun () ->
+  Uxsm_util.Locks.with_lock matching_lock @@ fun () ->
   match Hashtbl.find_opt matching_cache (d.id, seed) with
   | Some m -> m
   | None ->
@@ -57,16 +59,17 @@ let matching ?(seed = 42) ?(exec = Uxsm_exec.Executor.sequential) d =
     Hashtbl.add matching_cache (d.id, seed) m;
     m
 
-let mset_mutex = Mutex.create ()
+let mset_lock =
+  Uxsm_util.Locks.create ~name:"dataset.mset" ~rank:Uxsm_util.Locks.rank_dataset_mset
 
-(* lint: allow domain-unsafe — guarded by mset_mutex *)
+(* lint: allow domain-unsafe — guarded by mset_lock *)
 let mset_cache : (string * int * int * bool, Uxsm_mapping.Mapping_set.t) Hashtbl.t =
   Hashtbl.create 16
 
 let mapping_set ?(seed = 42) ?(method_ = Uxsm_mapping.Mapping_set.Partitioned)
     ?(exec = Uxsm_exec.Executor.sequential) ~h d =
   let key = (d.id, seed, h, method_ = Uxsm_mapping.Mapping_set.Partitioned) in
-  Mutex.protect mset_mutex @@ fun () ->
+  Uxsm_util.Locks.with_lock mset_lock @@ fun () ->
   match Hashtbl.find_opt mset_cache key with
   | Some s -> s
   | None ->

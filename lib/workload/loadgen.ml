@@ -725,7 +725,7 @@ module Runner = struct
   (* -------------------------- open loop ---------------------------- *)
 
   type open_state = {
-    os_mutex : Mutex.t;
+    os_lock : Uxsm_util.Locks.t;
     os_outstanding : (int, string * float) Hashtbl.t;  (* id -> (op, scheduled at) *)
     os_sender_done : bool Atomic.t;
   }
@@ -751,9 +751,9 @@ module Runner = struct
          else begin
            let rq = Sampler.next sampler in
            incr next_id;
-           Mutex.lock state.os_mutex;
+           Uxsm_util.Locks.lock state.os_lock;
            Hashtbl.replace state.os_outstanding !next_id (rq.Sampler.rq_op, !t);
-           Mutex.unlock state.os_mutex;
+           Uxsm_util.Locks.unlock state.os_lock;
            write_line conn.cn_fd (Json.to_string (add_id !next_id rq.Sampler.rq_body));
            if measure then Atomic.incr counters.k_sent
          end;
@@ -768,19 +768,16 @@ module Runner = struct
      unanswered then counts as errors. *)
   let open_receiver ~conn ~drain_deadline ~measure ~counters ~hists ~state () =
     let outstanding_count () =
-      Mutex.lock state.os_mutex;
-      let n = Hashtbl.length state.os_outstanding in
-      Mutex.unlock state.os_mutex;
-      n
+      Uxsm_util.Locks.with_lock state.os_lock (fun () ->
+          Hashtbl.length state.os_outstanding)
     in
     let take id =
-      Mutex.lock state.os_mutex;
-      let entry = Hashtbl.find_opt state.os_outstanding id in
-      (match entry with
-      | Some _ -> Hashtbl.remove state.os_outstanding id
-      | None -> ());
-      Mutex.unlock state.os_mutex;
-      entry
+      Uxsm_util.Locks.with_lock state.os_lock (fun () ->
+          let entry = Hashtbl.find_opt state.os_outstanding id in
+          (match entry with
+          | Some _ -> Hashtbl.remove state.os_outstanding id
+          | None -> ());
+          entry)
     in
     let lose_remaining () =
       if measure then begin
@@ -790,9 +787,8 @@ module Runner = struct
             Atomic.incr counters.k_errors
           done
       end;
-      Mutex.lock state.os_mutex;
-      Hashtbl.reset state.os_outstanding;
-      Mutex.unlock state.os_mutex
+      Uxsm_util.Locks.with_lock state.os_lock (fun () ->
+          Hashtbl.reset state.os_outstanding)
     in
     let rec loop () =
       if Atomic.get state.os_sender_done && outstanding_count () = 0 then ()
@@ -860,7 +856,9 @@ module Runner = struct
           (fun cl ->
             let state =
               {
-                os_mutex = Mutex.create ();
+                os_lock =
+                  Uxsm_util.Locks.create ~name:"loadgen.outstanding"
+                    ~rank:Uxsm_util.Locks.rank_loadgen;
                 os_outstanding = Hashtbl.create 64;
                 os_sender_done = Atomic.make false;
               }

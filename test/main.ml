@@ -8,6 +8,7 @@ let () =
   Alcotest.run "uxsm"
     [
       ("util", Test_util.suite);
+      ("locks", Test_locks.suite);
       ("obs", Test_obs.suite);
       ("exec", Test_exec.suite);
       ("xml", Test_xml.suite);

@@ -4,6 +4,7 @@
    against an in-process TCP server. *)
 
 module Json = Uxsm_util.Json
+module Locks = Uxsm_util.Locks
 module Obs = Uxsm_obs.Obs
 module Bench_json = Uxsm_obs.Bench_json
 module Loadgen = Uxsm_workload.Loadgen
@@ -359,28 +360,29 @@ let test_ab_pick () =
 let start_server () =
   let srv = Server.create ~cache_entries:16 () in
   let port = ref 0 in
-  let m = Mutex.create () and cond = Condition.create () and up = ref false in
+  let m = Locks.create ~name:"test.loadgen.ready" ~rank:Locks.rank_latch in
+  let cond = Locks.cond () and up = ref false in
   let th =
     Thread.create
       (fun () ->
         Server.serve
           ~ready:(fun addrs ->
-            Mutex.lock m;
+            Locks.lock m;
             (match addrs with
             | [ Unix.ADDR_INET (_, p) ] -> port := p
             | _ -> ());
             up := true;
-            Condition.signal cond;
-            Mutex.unlock m)
+            Locks.signal cond;
+            Locks.unlock m)
           srv
           [ Server.Tcp ("127.0.0.1", 0) ])
       ()
   in
-  Mutex.lock m;
+  Locks.lock m;
   while not !up do
-    Condition.wait cond m
+    Locks.wait cond m
   done;
-  Mutex.unlock m;
+  Locks.unlock m;
   (srv, !port, th)
 
 let runner_profile arrival =

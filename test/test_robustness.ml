@@ -133,6 +133,7 @@ let prop_prob_doc_bounds =
       List.for_all
         (fun v ->
           let c = Uxsm_xml.Prob_doc.cond_prob pd v in
+          (* lint: allow float-eq — the root's conditional probability is set to exactly 1.0 *)
           let ok_cond = if v = 0 then c = 1.0 else c >= 0.5 && c <= 0.9 in
           let expected_marginal =
             match Uxsm_xml.Doc.parent doc v with

@@ -6,6 +6,7 @@
    the block tree. *)
 
 module Json = Uxsm_util.Json
+module Locks = Uxsm_util.Locks
 module Executor = Uxsm_exec.Executor
 module Obs = Uxsm_obs.Obs
 module Serialize = Uxsm_mapping.Serialize
@@ -58,17 +59,17 @@ let test_lru_eviction_order () =
    must stay exact and monotone under that race. *)
 let test_lru_concurrent_stats () =
   let c = Lru.create ~capacity:8 in
-  let lock = Mutex.create () in
+  let lock = Locks.create ~name:"test.lru.owner" ~rank:Locks.rank_latch in
   let ops = 5_000 in
   let n_workers = 4 in
   let worker seed () =
     for i = 1 to ops do
       let k = (i * 7 + seed) mod 32 in
-      Mutex.lock lock;
+      Locks.lock lock;
       (match Lru.find c k with
       | None -> Lru.put c k (k * k)
       | Some _ -> ());
-      Mutex.unlock lock
+      Locks.unlock lock
     done
   in
   let stop = Atomic.make false in
@@ -605,25 +606,26 @@ let start_server ?(max_queue = 256) ?exec ?(corpora = [ "corpA"; "corpB" ]) endp
   let srv = Server.create ~cache_entries:16 ?exec () in
   List.iter (fun c -> assert_ok ("register " ^ c) (response_of_line srv (register_line c))) corpora;
   let addrs = ref [] in
-  let m = Mutex.create () and cond = Condition.create () and up = ref false in
+  let m = Locks.create ~name:"test.ready" ~rank:Locks.rank_latch in
+  let cond = Locks.cond () and up = ref false in
   let th =
     Thread.create
       (fun () ->
         Server.serve ~max_queue
           ~ready:(fun a ->
-            Mutex.lock m;
+            Locks.lock m;
             addrs := a;
             up := true;
-            Condition.signal cond;
-            Mutex.unlock m)
+            Locks.signal cond;
+            Locks.unlock m)
           srv endpoints)
       ()
   in
-  Mutex.lock m;
+  Locks.lock m;
   while not !up do
-    Condition.wait cond m
+    Locks.wait cond m
   done;
-  Mutex.unlock m;
+  Locks.unlock m;
   (srv, !addrs, th)
 
 let connect addr =

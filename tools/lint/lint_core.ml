@@ -1,12 +1,14 @@
 module Json = Uxsm_util.Json
 
 type severity = Error | Warning
-type scope = Lib | Bin | Bench | Other
+type scope = Lib | Bin | Bench | Tools | Test | Other
 
 let scope_of_path p =
   if String.starts_with ~prefix:"lib/" p then Lib
   else if String.starts_with ~prefix:"bin/" p then Bin
   else if String.starts_with ~prefix:"bench/" p then Bench
+  else if String.starts_with ~prefix:"tools/" p then Tools
+  else if String.starts_with ~prefix:"test/" p then Test
   else Other
 
 type context = {
@@ -31,13 +33,20 @@ let severity_name = function Error -> "error" | Warning -> "warning"
 (* R1/R2 structural rules are errors where the invariants are load-bearing
    (library code runs under executor workers) and warnings in driver
    executables, whose top-level Arg state never crosses a domain. *)
-let r12_severity scope = match scope with Lib -> Error | Bin | Bench | Other -> Warning
+let r12_severity scope =
+  match scope with Lib -> Error | Bin | Bench | Tools | Test | Other -> Warning
 
 (* ------------------------------------------------------------------ *)
 (* Annotations                                                        *)
 (* ------------------------------------------------------------------ *)
 
 type annotation = { a_line : int; a_rule : string; a_reason : string }
+
+(* Built by concatenation so this module's own source never contains the
+   literal marker: the scanner is line-textual, and under self-linting the
+   occurrences here (pattern and messages) would read as malformed
+   annotations. *)
+let allow_marker = "lint:" ^ " allow"
 
 let is_rule_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
 
@@ -56,7 +65,7 @@ let find_substring hay needle =
 let is_sep_byte c = c = '-' || c = ':' || c = '\xe2' || c = '\x80' || c = '\x94'
 
 let parse_annotation_line ~lineno line =
-  match find_substring line "lint: allow" with
+  match find_substring line allow_marker with
   | None -> None
   | Some i ->
     let rest = String.sub line (i + 11) (String.length line - i - 11) in
@@ -333,6 +342,17 @@ let expr_findings (ctx : context) str =
       | _ -> ())
     | Pexp_ident { txt; _ } -> (
       match path_of txt with
+      | ("Mutex" | "Condition") :: op :: _
+        when ctx.scope <> Tools && ctx.file <> "lib/util/locks.ml" ->
+        (* The one permitted home of raw primitives is the Locks wrapper
+           itself; the linter's own sources only mention them in analysis
+           tables, never as synchronization. *)
+        emit ~severity:Error e.pexp_loc "raw-mutex"
+          (Printf.sprintf
+             "raw %s.%s bypasses the lock-rank discipline (no rank check, no \
+              runtime witness); create the lock with Uxsm_util.Locks.create \
+              ~name ~rank instead — see DESIGN.md §15"
+             (List.hd (path_of txt)) op)
       | [ "Obj"; "magic" ] ->
         emit ~severity:Error e.pexp_loc "obj-magic" "Obj.magic defeats the type system"
       | "Random" :: next :: _ when next <> "State" && ctx.executor_reachable ->
@@ -392,8 +412,12 @@ let compare_findings a b =
   | 0 -> compare a.rule b.rule
   | c -> c
 
-let analyze (ctx : context) src =
-  let anns, bad_anns = annotations_of_source src in
+(* Findings with no annotations applied — the driver merges in the
+   interprocedural lock findings before applying suppressions, so a
+   lock-order allow annotation can cover a finding this module never
+   produced. *)
+let analyze_raw (ctx : context) src =
+  let _, bad_anns = annotations_of_source src in
   let bad =
     List.map
       (fun line ->
@@ -404,8 +428,9 @@ let analyze (ctx : context) src =
           col = 0;
           severity = Warning;
           message =
-            "malformed lint annotation; expected `(* lint: allow <rule-id> — \
-             <reason> *)`";
+            Printf.sprintf
+              "malformed lint annotation; expected `(* %s <rule-id> — <reason> *)`"
+              allow_marker;
           suppressed = None;
           baselined = false;
         })
@@ -430,12 +455,75 @@ let analyze (ctx : context) src =
       let mutable_fields = mutable_fields_of_structure str in
       r1_findings ctx mutable_fields str @ expr_findings ctx str
   in
-  let findings =
-    List.map
-      (fun f -> { f with suppressed = suppression anns ~rule:f.rule ~line:f.line })
-      findings
-  in
   List.sort compare_findings (findings @ bad)
+
+let apply_suppressions anns findings =
+  List.map
+    (fun f -> { f with suppressed = suppression anns ~rule:f.rule ~line:f.line })
+    findings
+
+(* An annotation that matches no finding is itself a defect: it either
+   outlived the code it justified or names the wrong rule, and it would
+   silently swallow the next real finding on its line. Same for baseline
+   entries. Matching runs against pre-suppression findings of the whole
+   merged report, so driver-level rules count. *)
+let stale_annotation_findings ~file anns findings =
+  List.filter_map
+    (fun a ->
+      let matched =
+        List.exists
+          (fun f ->
+            f.file = file && String.equal f.rule a.a_rule
+            && (f.line = a.a_line || f.line = a.a_line + 1))
+          findings
+      in
+      if matched then None
+      else
+        Some
+          {
+            rule = "stale-suppression";
+            file;
+            line = a.a_line;
+            col = 0;
+            severity = Error;
+            message =
+              Printf.sprintf
+                "annotation `%s %s` suppresses nothing (no %s finding on this \
+                 line or the next); delete it, or fix the rule id"
+                allow_marker a.a_rule a.a_rule;
+            suppressed = None;
+            baselined = false;
+          })
+    anns
+
+let stale_baseline_findings entries findings =
+  List.filter_map
+    (fun (rule, file, line) ->
+      let matched =
+        List.exists (fun f -> f.rule = rule && f.file = file && f.line = line) findings
+      in
+      if matched then None
+      else
+        Some
+          {
+            rule = "stale-suppression";
+            file;
+            line;
+            col = 0;
+            severity = Error;
+            message =
+              Printf.sprintf
+                "baseline entry (%s, %s:%d) matches no finding; remove it from \
+                 the baseline"
+                rule file line;
+            suppressed = None;
+            baselined = false;
+          })
+    entries
+
+let analyze (ctx : context) src =
+  let anns, _ = annotations_of_source src in
+  apply_suppressions anns (analyze_raw ctx src)
 
 let mli_finding ~ml_file ~has_mli ~scope =
   if scope <> Lib || has_mli then None

@@ -23,8 +23,17 @@
     - R3 [stdout-print] — [print_*] / [Printf.printf] / [Format.printf]
       inside [lib/].
     - R3 [missing-mli] — a [lib/] module without an interface file.
+    - R4 [raw-mutex] — any direct [Mutex.*] / [Condition.*] reference
+      outside the [Uxsm_util.Locks] implementation and [tools/]: raw
+      primitives carry no rank and escape the runtime lock witness.
+    - [stale-suppression] — an allow annotation or baseline entry that
+      suppresses nothing (driver-level; see {!stale_annotation_findings}).
     - [bad-annotation] — a [lint: allow] comment that does not parse.
     - [parse-error] — a source file compiler-libs cannot parse.
+
+    The interprocedural [lock-order] and [blocking-under-lock] rules live
+    in {!Lint_locks}; the driver merges their findings with this module's
+    before applying suppressions.
 
     Annotation grammar (one comment, same line as the offending site or the
     line directly above it):
@@ -39,13 +48,14 @@ type severity =
   | Error  (** fails the build (non-zero exit) unless suppressed/baselined *)
   | Warning  (** reported, never fails the build *)
 
-type scope = Lib | Bin | Bench | Other
+type scope = Lib | Bin | Bench | Tools | Test | Other
 
 val scope_of_path : string -> scope
 (** From a root-relative path: [lib/…] is [Lib], [bin/…] is [Bin],
-    [bench/…] is [Bench], anything else [Other]. Severities depend on it:
-    R1/R2 findings are errors in [Lib] and warnings elsewhere (driver
-    executables legitimately keep CLI state in top-level refs). *)
+    [bench/…] is [Bench], [tools/…] is [Tools], [test/…] is [Test],
+    anything else [Other]. Severities depend on it: R1/R2 findings are
+    errors in [Lib] and warnings elsewhere (driver executables
+    legitimately keep CLI state in top-level refs). *)
 
 type context = {
   file : string;  (** path findings are reported under *)
@@ -71,6 +81,31 @@ val analyze : context -> string -> finding list
 (** Parse one module's source text and run every syntactic rule, returning
     findings sorted by position with annotations already applied. A file
     that fails to parse yields a single [parse-error] finding. *)
+
+type annotation = { a_line : int; a_rule : string; a_reason : string }
+
+val annotations_of_source : string -> annotation list * int list
+(** Well-formed allow annotations of one source text, plus the line
+    numbers of malformed ones. *)
+
+val analyze_raw : context -> string -> finding list
+(** {!analyze} without suppressions applied: what the driver merges with
+    the interprocedural findings before calling
+    {!apply_suppressions}. *)
+
+val apply_suppressions : annotation list -> finding list -> finding list
+(** Mark findings covered by an annotation (same rule, annotation on the
+    finding's line or the line above) as {!finding.suppressed}. *)
+
+val stale_annotation_findings :
+  file:string -> annotation list -> finding list -> finding list
+(** One [stale-suppression] error per annotation of [file] matching no
+    finding in the (pre-suppression, merged) list. *)
+
+val stale_baseline_findings :
+  (string * string * int) list -> finding list -> finding list
+(** One [stale-suppression] error per baseline entry matching no
+    finding. *)
 
 val mli_finding : ml_file:string -> has_mli:bool -> scope:scope -> finding option
 (** The [missing-mli] rule; [None] outside [Lib] or when the interface

@@ -19,6 +19,10 @@ val ml_files : dirs:string list -> string list
 (** Every [*.ml] under [dirs] (recursive, skipping dot- and [_]-prefixed
     directories), as sorted relative paths. *)
 
+val library_wrapper : string -> string option
+(** Wrapper module name of the dune library living in a directory:
+    [(library (name uxsm_util) …)] gives [Some "Uxsm_util"]. *)
+
 val executor_reachable : files:string list -> string -> bool
 (** [executor_reachable ~files] scans [files] once and returns the
     predicate "this file is reachable from an executor fan-out closure".

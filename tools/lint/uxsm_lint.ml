@@ -1,15 +1,28 @@
-(* uxsm-lint: static domain-safety / determinism / hygiene analysis over
-   this repo's OCaml sources. See Lint_core for the rule catalogue and
-   DESIGN.md §11 for the workflow. *)
+(* uxsm-lint: static domain-safety / determinism / concurrency / hygiene
+   analysis over this repo's OCaml sources. See Lint_core for the
+   syntactic rule catalogue, Lint_locks for the interprocedural lock
+   rules, and DESIGN.md §11/§15 for the workflow.
+
+   The driver owns the report assembly, in this order:
+   1. per-file syntactic findings (Lint_core.analyze_raw) over every
+      directory, plus missing-mli;
+   2. interprocedural lock findings (Lint_locks.analyze) over the
+      executable code (lib/bin/bench — tools and test are hygiene-only);
+   3. suppression annotations, applied to the merged list, so an
+      annotation can cover an interprocedural finding;
+   4. stale-suppression findings for annotations and baseline entries
+      that matched nothing;
+   5. the baseline. *)
 
 module Lint_core = Uxsm_lint_core.Lint_core
 module Lint_deps = Uxsm_lint_core.Lint_deps
+module Lint_locks = Uxsm_lint_core.Lint_locks
 module Json = Uxsm_util.Json
 
 let usage =
   "uxsm_lint [--json] [--baseline FILE] [--root DIR] [DIR...]\n\
-   Analyze every .ml under the given directories (default: lib bin bench)\n\
-   and exit non-zero on unsuppressed, unbaselined errors."
+   Analyze every .ml under the given directories (default: lib bin bench\n\
+   tools test) and exit non-zero on unsuppressed, unbaselined errors."
 
 let read_file path =
   let ic = open_in_bin path in
@@ -37,31 +50,76 @@ let () =
    with Sys_error e ->
      prerr_endline ("uxsm_lint: cannot chdir to root: " ^ e);
      exit 2);
-  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | ds -> ds in
+  let dirs =
+    match List.rev !dirs with
+    | [] -> [ "lib"; "bin"; "bench"; "tools"; "test" ]
+    | ds -> ds
+  in
   let files = Lint_deps.ml_files ~dirs in
   if files = [] then begin
     prerr_endline "uxsm_lint: no .ml files found under the given directories";
     exit 2
   end;
   let reachable = Lint_deps.executor_reachable ~files in
-  let findings =
+  let annotations : (string, Lint_core.annotation list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let file_findings =
     List.concat_map
       (fun f ->
         let scope = Lint_core.scope_of_path f in
+        let src = read_file f in
+        let anns, _ = Lint_core.annotations_of_source src in
+        Hashtbl.replace annotations f anns;
         let ctx =
-          { Lint_core.file = f; scope; executor_reachable = reachable f }
+          {
+            Lint_core.file = f;
+            scope;
+            (* R1 concerns state shared across executor fan-out; the lint
+               and test harness processes never run under the executor. *)
+            executor_reachable =
+              (match scope with
+              | Lint_core.Tools | Lint_core.Test -> false
+              | _ -> reachable f);
+          }
         in
         let mli =
           Lint_core.mli_finding ~ml_file:f
             ~has_mli:(Sys.file_exists (Filename.remove_extension f ^ ".mli"))
             ~scope
         in
-        Option.to_list mli @ Lint_core.analyze ctx (read_file f))
+        Option.to_list mli @ Lint_core.analyze_raw ctx src)
       files
   in
+  (* The lock rules target code the ranked-lock discipline governs; tools/
+     and test/ use no Locks and stay out of the call graph. *)
+  let lock_files =
+    List.filter
+      (fun f ->
+        match Lint_core.scope_of_path f with
+        | Lint_core.Lib | Lint_core.Bin | Lint_core.Bench -> true
+        | _ -> false)
+      files
+  in
+  let raw = file_findings @ Lint_locks.analyze ~files:lock_files in
   let findings =
+    List.map
+      (fun f ->
+        match Hashtbl.find_opt annotations f.Lint_core.file with
+        | Some anns -> List.hd (Lint_core.apply_suppressions anns [ f ])
+        | None -> f)
+      raw
+  in
+  let stale =
+    (* lint: allow unsorted-fold — the merged report is position-sorted below *)
+    Hashtbl.fold
+      (fun file anns acc ->
+        Lint_core.stale_annotation_findings ~file anns raw @ acc)
+      annotations []
+  in
+  let baseline_entries =
     match !baseline_path with
-    | None -> findings
+    | None -> []
     | Some path -> (
       match Json.of_string (read_file path) with
       | exception Sys_error e ->
@@ -75,7 +133,20 @@ let () =
         | Error e ->
           prerr_endline ("uxsm_lint: " ^ e);
           exit 2
-        | Ok entries -> Lint_core.apply_baseline entries findings))
+        | Ok entries -> entries))
+  in
+  let findings =
+    Lint_core.apply_baseline baseline_entries findings
+    @ stale
+    @ Lint_core.stale_baseline_findings baseline_entries raw
+  in
+  let findings =
+    List.sort
+      (fun a b ->
+        compare
+          (a.Lint_core.file, a.Lint_core.line, a.Lint_core.col, a.Lint_core.rule)
+          (b.Lint_core.file, b.Lint_core.line, b.Lint_core.col, b.Lint_core.rule))
+      findings
   in
   if !json_out then print_endline (Json.to_string (Lint_core.to_json findings))
   else Format.printf "%a" Lint_core.pp_report findings;
