@@ -36,7 +36,9 @@ let validate path =
     if bad <> [] then false
     else begin
       let by_executor =
-        List.sort_uniq compare
+        List.sort_uniq
+          (fun (e1, j1) (e2, j2) ->
+            match String.compare e1 e2 with 0 -> Int.compare j1 j2 | c -> c)
           (List.map (fun (r : Bench_json.run) -> (r.r_executor, r.r_jobs)) runs)
       in
       Printf.printf "%s: %d run records ok (%s)\n" path (List.length runs)

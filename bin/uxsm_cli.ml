@@ -618,6 +618,46 @@ let serve_cmd =
 
 (* ------------------------------- client --------------------------- *)
 
+(* Shared by `client` and `update`: connect to a running server over
+   exactly one of --socket/--tcp, or die with a usage error. *)
+let connect_client ~cmd socket tcp =
+  let target =
+    match (socket, tcp) with
+    | Some path, None -> `Unix path
+    | None, Some (host, port) -> `Tcp (host, port)
+    | _ ->
+      Printf.eprintf "%s: need exactly one of --socket PATH or --tcp HOST:PORT\n" cmd;
+      exit 2
+  in
+  let fd =
+    match target with
+    | `Unix _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    | `Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+  in
+  let addr, shown =
+    match target with
+    | `Unix path -> (Unix.ADDR_UNIX path, path)
+    | `Tcp (host, port) -> (
+      let resolved =
+        match Unix.inet_addr_of_string host with
+        | a -> Some a
+        | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> Some addrs.(0)
+          | _ | (exception Not_found) -> None)
+      in
+      match resolved with
+      | Some a -> (Unix.ADDR_INET (a, port), Printf.sprintf "%s:%d" host port)
+      | None ->
+        Printf.eprintf "cannot resolve host %S\n" host;
+        exit 1)
+  in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "cannot connect to %s: %s\n" shown (Unix.error_message e);
+     exit 1);
+  fd
+
 let client_cmd =
   let run socket tcp requests =
     let requests =
@@ -635,41 +675,7 @@ let client_cmd =
       prerr_endline "client: no requests";
       exit 2
     end;
-    let target =
-      match (socket, tcp) with
-      | Some path, None -> `Unix path
-      | None, Some (host, port) -> `Tcp (host, port)
-      | _ ->
-        prerr_endline "client: need exactly one of --socket PATH or --tcp HOST:PORT";
-        exit 2
-    in
-    let fd =
-      match target with
-      | `Unix _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
-      | `Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
-    in
-    let addr, shown =
-      match target with
-      | `Unix path -> (Unix.ADDR_UNIX path, path)
-      | `Tcp (host, port) -> (
-        let resolved =
-          match Unix.inet_addr_of_string host with
-          | a -> Some a
-          | exception Failure _ -> (
-            match Unix.gethostbyname host with
-            | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> Some addrs.(0)
-            | _ | (exception Not_found) -> None)
-        in
-        match resolved with
-        | Some a -> (Unix.ADDR_INET (a, port), Printf.sprintf "%s:%d" host port)
-        | None ->
-          Printf.eprintf "cannot resolve host %S\n" host;
-          exit 1)
-    in
-    (try Unix.connect fd addr
-     with Unix.Unix_error (e, _, _) ->
-       Printf.eprintf "cannot connect to %s: %s\n" shown (Unix.error_message e);
-       exit 1);
+    let fd = connect_client ~cmd:"client" socket tcp in
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
     List.iter
@@ -713,6 +719,111 @@ let client_cmd =
        ~doc:"Send requests to a running $(b,uxsm serve) and print one JSON reply per \
              line. Exits non-zero if any reply is an error.")
     Term.(const run $ socket $ tcp $ requests)
+
+(* ------------------------------- update --------------------------- *)
+
+let update_cmd =
+  let module Json = Uxsm_util.Json in
+  let module Protocol = Uxsm_server.Protocol in
+  let run socket tcp corpus set remove add_source add_target =
+    let delta =
+      {
+        Matching.set_scores = set;
+        remove_corrs = remove;
+        add_source;
+        add_target;
+      }
+    in
+    if Matching.delta_is_empty delta then begin
+      prerr_endline
+        "update: need at least one of --set, --remove, --add-source, --add-target";
+      exit 2
+    end;
+    let fd = connect_client ~cmd:"update" socket tcp in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let req =
+      Protocol.to_json { Protocol.id = None; req = Protocol.Update { corpus; delta } }
+    in
+    output_string oc (Json.to_string req);
+    output_char oc '\n';
+    flush oc;
+    let ok =
+      match input_line ic with
+      | reply ->
+        print_endline reply;
+        (match Json.of_string reply with
+        | Ok j -> Json.member "ok" j = Some (Json.Bool true)
+        | Error _ -> false)
+      | exception End_of_file ->
+        prerr_endline "update: server closed the connection early";
+        false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if not ok then exit 3
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket of a running $(b,uxsm serve).")
+  in
+  let tcp =
+    Arg.(value & opt (some tcp_conv) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"TCP endpoint of a running $(b,uxsm serve) (alternative to \
+                 $(b,--socket)).")
+  in
+  let corpus =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CORPUS"
+           ~doc:"Name of the registered corpus to update.")
+  in
+  let set_conv =
+    let parse s =
+      match String.split_on_char '=' s with
+      | [ src; tgt; score ] when src <> "" && tgt <> "" -> (
+        match float_of_string_opt score with
+        | Some w -> Ok (src, tgt, w)
+        | None -> Error (`Msg (Printf.sprintf "bad score %S" score)))
+      | _ -> Error (`Msg "expected SOURCE=TARGET=SCORE")
+    in
+    Arg.conv (parse, fun fmt (s, t, w) -> Format.fprintf fmt "%s=%s=%g" s t w)
+  in
+  let pair_conv what =
+    let parse s =
+      match String.split_on_char '=' s with
+      | [ a; b ] when a <> "" && b <> "" -> Ok (a, b)
+      | _ -> Error (`Msg (Printf.sprintf "expected %s" what))
+    in
+    Arg.conv (parse, fun fmt (a, b) -> Format.fprintf fmt "%s=%s" a b)
+  in
+  let set =
+    Arg.(value & opt_all set_conv [] & info [ "set" ] ~docv:"SRC=TGT=SCORE"
+           ~doc:"Re-score (or add) the correspondence between the '.'-joined source \
+                 path $(i,SRC) and target path $(i,TGT); score in (0, 1]. Repeatable.")
+  in
+  let remove =
+    Arg.(value & opt_all (pair_conv "SOURCE=TARGET") [] & info [ "remove" ]
+           ~docv:"SRC=TGT" ~doc:"Remove an existing correspondence. Repeatable.")
+  in
+  let add_source =
+    Arg.(value & opt_all (pair_conv "PARENT=NAME") [] & info [ "add-source" ]
+           ~docv:"PARENT=NAME"
+           ~doc:"Append an element named $(i,NAME) under the source-schema element at \
+                 path $(i,PARENT) (append-only: the parent must lie on the rightmost \
+                 root-to-leaf spine). Repeatable.")
+  in
+  let add_target =
+    Arg.(value & opt_all (pair_conv "PARENT=NAME") [] & info [ "add-target" ]
+           ~docv:"PARENT=NAME"
+           ~doc:"Append an element to the target schema (same rules as \
+                 $(b,--add-source)). Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Apply an incremental delta to a corpus on a running $(b,uxsm serve): \
+             re-score, add or remove correspondences, or append schema elements. The \
+             server patches its cached artifacts in place (delta re-ranking, subtree \
+             block rebuilds) instead of rebuilding the corpus. Prints the server's \
+             JSON reply; exits non-zero on error.")
+    Term.(const run $ socket $ tcp $ corpus $ set $ remove $ add_source $ add_target)
 
 (* ------------------------------ loadgen --------------------------- *)
 
@@ -889,4 +1000,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; stats_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd; serve_cmd; client_cmd; loadgen_cmd; ab_cmd ]))
+          [ schema_cmd; datasets_cmd; match_cmd; mappings_cmd; blocktree_cmd; query_cmd; stats_cmd; keyword_cmd; analyze_cmd; xsd_match_cmd; doc_cmd; serve_cmd; client_cmd; update_cmd; loadgen_cmd; ab_cmd ]))

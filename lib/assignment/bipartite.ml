@@ -35,6 +35,44 @@ let create ~n_left ~n_right edge_list =
     max_weight;
   }
 
+(* The one shared definition of how a delta rewrites an edge list. Both
+   the matching layer (path-level deltas) and the partition layer
+   (index-level deltas) funnel through this, so the two can never
+   disagree about edge order — which matters because Murty's solution
+   enumeration, and hence byte-identical incremental maintenance, is
+   sensitive to adjacency order. Removals apply first; a re-scored edge
+   keeps its position; a genuinely new edge is appended at the end in
+   first-occurrence order of [set] (a later duplicate only overrides the
+   score). An edge that is both removed and set ends up appended. *)
+let apply_edge_delta ~set ~remove edge_list =
+  let removed = Hashtbl.create (List.length remove + 1) in
+  List.iter (fun p -> Hashtbl.replace removed p ()) remove;
+  let upsert = Hashtbl.create (List.length set + 1) in
+  List.iter (fun (i, j, w) -> Hashtbl.replace upsert (i, j) w) set;
+  let kept =
+    List.filter_map
+      (fun (i, j, w) ->
+        if Hashtbl.mem removed (i, j) then None
+        else
+          match Hashtbl.find_opt upsert (i, j) with
+          | Some w' ->
+            Hashtbl.remove upsert (i, j);
+            Some (i, j, w')
+          | None -> Some (i, j, w))
+      edge_list
+  in
+  let appended =
+    List.filter_map
+      (fun (i, j, _) ->
+        match Hashtbl.find_opt upsert (i, j) with
+        | Some w ->
+          Hashtbl.remove upsert (i, j);
+          Some (i, j, w)
+        | None -> None)
+      set
+  in
+  kept @ appended
+
 let n_left t = t.n_left
 let n_right t = t.n_right
 let n_edges t = List.length t.edges

@@ -20,6 +20,21 @@ val n_edges : t -> int
 val edges : t -> (int * int * float) list
 (** All edges, in insertion order. *)
 
+val apply_edge_delta :
+  set:(int * int * float) list ->
+  remove:(int * int) list ->
+  (int * int * float) list ->
+  (int * int * float) list
+(** The delta algebra over edge lists, shared by every incremental-
+    maintenance layer so edge {e order} — which Murty-based ranking is
+    sensitive to — is rewritten one way everywhere. Removals apply
+    first. A [set] of an existing [(left, right)] pair re-scores it in
+    place (position preserved); a [set] of a new pair appends it at the
+    end, in first-occurrence order of [set] (later duplicates only
+    override the score). A pair both removed and set is appended.
+    Removals of absent pairs are ignored here — callers that care
+    validate before applying. *)
+
 val adj : t -> int -> (int * float) array
 (** Real (non-image) out-edges of a left node. *)
 

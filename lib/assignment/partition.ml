@@ -1,11 +1,17 @@
 module Obs = Uxsm_obs.Obs
 
-(* Observability: how much the component decomposition buys. *)
+(* Observability: how much the component decomposition buys, and — for the
+   incremental path — how much of a delta's work the component cache
+   absorbs. *)
 let c_runs = Obs.counter "partition.runs"
 let c_components = Obs.counter "partition.components"
 let c_component_edges = Obs.counter "partition.component_edges"
 let c_merges = Obs.counter "partition.merges"
+let c_delta_applies = Obs.counter "partition.delta_applies"
+let c_components_reranked = Obs.counter "partition.components_reranked"
+let c_components_reused = Obs.counter "partition.components_reused"
 let s_top = Obs.span "partition.top"
+let s_apply_delta = Obs.span "partition.apply_delta"
 
 type component = {
   lefts : int list;
@@ -50,6 +56,11 @@ let components g =
 
 let empty_solution : Murty.solution = { pairs = []; score = 0.0 }
 
+let pair_compare (i1, j1) (i2, j2) =
+  match Int.compare i1 i2 with
+  | 0 -> Int.compare j1 j2
+  | c -> c
+
 let merge ~h xs ys =
   Obs.incr c_merges;
   match (xs, ys) with
@@ -75,7 +86,10 @@ let merge ~h xs ys =
         | None -> ()
         | Some (neg_s, (ix, iy)) ->
           let combined : Murty.solution =
-            { pairs = List.merge compare xa.(ix).Murty.pairs ya.(iy).Murty.pairs; score = -.neg_s }
+            {
+              pairs = List.merge pair_compare xa.(ix).Murty.pairs ya.(iy).Murty.pairs;
+              score = -.neg_s;
+            }
           in
           out := combined :: !out;
           incr count;
@@ -86,43 +100,166 @@ let merge ~h xs ys =
     drain ();
     List.rev !out
 
+(* The reusable per-component state. Plain data throughout — no closures —
+   so the catalog can own one per cached mapping set and a future session
+   could serialize it. [rk_locals] holds, per component in component
+   order, the component's ordered edge list (the reuse key) and its local
+   top-h solution list mapped back to global indices. *)
+type ranked = {
+  rk_h : int;
+  rk_order : [ `Index | `Degree ] option;
+  rk_graph : Bipartite.t;
+  rk_locals : ((int * int * float) list * Murty.solution list) list;
+  rk_prefixes : Murty.solution list list;
+      (* rk_prefixes nth i = the merge fold over locals 0..i, so the last
+         prefix is rk_merged. The fold is left-associative and
+         order-sensitive, so a delta confined to component k can replay
+         prefix k-1 verbatim and re-merge only the suffix from k on. *)
+  rk_merged : Murty.solution list;
+}
+
+type delta = {
+  d_set : (int * int * float) list;
+  d_remove : (int * int) list;
+  d_n_left : int;
+  d_n_right : int;
+}
+
+let local_top ?order ~h comp =
+  (* Re-index the component to a compact bipartite, rank it, and map the
+     solutions back to global indices. *)
+  let l_of = Hashtbl.create 16 and r_of = Hashtbl.create 16 in
+  let l_back = Array.of_list comp.lefts and r_back = Array.of_list comp.rights in
+  List.iteri (fun k i -> Hashtbl.replace l_of i k) comp.lefts;
+  List.iteri (fun k j -> Hashtbl.replace r_of j k) comp.rights;
+  let edges =
+    List.map (fun (i, j, w) -> (Hashtbl.find l_of i, Hashtbl.find r_of j, w)) comp.edges
+  in
+  let sub =
+    Bipartite.create ~n_left:(Array.length l_back) ~n_right:(Array.length r_back) edges
+  in
+  Murty.top ?order ~h sub
+  |> List.map (fun (s : Murty.solution) ->
+         {
+           Murty.pairs = List.map (fun (i, j) -> (l_back.(i), r_back.(j))) s.pairs;
+           score = s.score;
+         })
+
+(* Rank the components of [g], reusing any component whose ordered edge
+   list is found in [cache] (a hit means identical member nodes and
+   weights, so the cached global-index solution list is exactly what a
+   fresh ranking would produce). Misses rank on the executor; the heap
+   merge is order-sensitive, so it folds sequentially over the
+   per-component lists in component order — the same fold Sequential
+   performs. The cost hint sizes only the miss work for the executor's
+   gate: Murty's warm-restart work per component grows with the solutions
+   requested and the edges branched over, so h * miss-edges is the job's
+   size in rough node-visit-equivalent units. *)
+let rank_components ~exec ~order ~h ~cache ~reuse g =
+  let comps = components g in
+  Obs.incr c_runs;
+  Obs.add c_components (List.length comps);
+  List.iter (fun c -> Obs.add c_component_edges (List.length c.edges)) comps;
+  let tagged = List.map (fun c -> (c, Hashtbl.find_opt cache c.edges)) comps in
+  let misses = List.filter_map (function c, None -> Some c | _ -> None) tagged in
+  let miss_edges = List.fold_left (fun acc c -> acc + List.length c.edges) 0 misses in
+  let cost_hint = float_of_int h *. float_of_int miss_edges in
+  (* lint: allow blocking-under-lock — reachable under Dataset's memo locks; the fan-out never blocks on the pool (try_lock or sequential fallback) and the jobs are pure compute, so the hold is bounded by the ranking work itself *)
+  let fresh = Uxsm_exec.Executor.map_list ~cost_hint exec (local_top ?order ~h) misses in
+  let rec stitch tagged fresh =
+    match (tagged, fresh) with
+    | [], [] -> []
+    | (c, Some cached) :: rest, _ -> (c.edges, cached) :: stitch rest fresh
+    | (c, None) :: rest, local :: fresh' -> (c.edges, local) :: stitch rest fresh'
+    | _ -> assert false
+  in
+  let locals = stitch tagged fresh in
+  (* The merge fold is left-associative, so any leading run of components
+     whose keys match [reuse] position by position replays exactly — a
+     cache hit on the same key yields the identical local list, hence the
+     identical merge step. Resume the fold from the last surviving
+     prefix. *)
+  let old_locals, old_prefixes = reuse in
+  let rec survive kept olds oldps news =
+    match (olds, oldps, news) with
+    | (ok, _) :: olds', p :: oldps', (nk, _) :: news' when ok = nk ->
+      survive (p :: kept) olds' oldps' news'
+    | _ -> (kept, news)
+  in
+  let kept_rev, rest = survive [] old_locals old_prefixes locals in
+  let start = match kept_rev with [] -> [ empty_solution ] | p :: _ -> p in
+  let rec refold acc prefixes = function
+    | [] -> prefixes
+    | (_, local) :: tl ->
+      let acc' = merge ~h acc local in
+      refold acc' (acc' :: prefixes) tl
+  in
+  let prefixes_rev = refold start kept_rev rest in
+  let merged = match prefixes_rev with [] -> [ empty_solution ] | m :: _ -> m in
+  (locals, List.rev prefixes_rev, merged, List.length misses)
+
+let rank ?(exec = Uxsm_exec.Executor.sequential) ?order ~h g =
+  if h <= 0 then invalid_arg "Partition.rank: h must be >= 1";
+  Obs.time s_top @@ fun () ->
+  let no_reuse = Hashtbl.create 1 in
+  let locals, prefixes, merged, _ =
+    rank_components ~exec ~order ~h ~cache:no_reuse ~reuse:([], []) g
+  in
+  {
+    rk_h = h;
+    rk_order = order;
+    rk_graph = g;
+    rk_locals = locals;
+    rk_prefixes = prefixes;
+    rk_merged = merged;
+  }
+
+let solutions r = r.rk_merged
+let graph r = r.rk_graph
+let ranked_h r = r.rk_h
+let ranked_components r = List.length r.rk_locals
+
 let top ?(exec = Uxsm_exec.Executor.sequential) ?order ~h g =
-  if h <= 0 then []
-  else
-    Obs.time s_top @@ fun () ->
-    let comps = components g in
-    Obs.incr c_runs;
-    Obs.add c_components (List.length comps);
-    List.iter (fun c -> Obs.add c_component_edges (List.length c.edges)) comps;
-    let local_top comp =
-      (* Re-index the component to a compact bipartite, rank it, and map the
-         solutions back to global indices. *)
-      let l_of = Hashtbl.create 16 and r_of = Hashtbl.create 16 in
-      let l_back = Array.of_list comp.lefts and r_back = Array.of_list comp.rights in
-      List.iteri (fun k i -> Hashtbl.replace l_of i k) comp.lefts;
-      List.iteri (fun k j -> Hashtbl.replace r_of j k) comp.rights;
-      let edges =
-        List.map (fun (i, j, w) -> (Hashtbl.find l_of i, Hashtbl.find r_of j, w)) comp.edges
-      in
-      let sub =
-        Bipartite.create ~n_left:(Array.length l_back) ~n_right:(Array.length r_back) edges
-      in
-      Murty.top ?order ~h sub
-      |> List.map (fun (s : Murty.solution) ->
-             {
-               Murty.pairs = List.map (fun (i, j) -> (l_back.(i), r_back.(j))) s.pairs;
-               score = s.score;
-             })
-    in
-    (* Components rank independently on the executor; the heap merge is
-       order-sensitive, so it folds sequentially over the per-component
-       lists in component order — the same fold Sequential performs.
-       The cost hint sizes the whole ranking job for the executor's gate:
-       Murty's warm-restart work per component grows with the solutions
-       requested and the edges branched over, so h * total-edges is the
-       job's size in rough node-visit-equivalent units. *)
-    let total_edges = List.fold_left (fun acc c -> acc + List.length c.edges) 0 comps in
-    let cost_hint = float_of_int h *. float_of_int total_edges in
-    (* lint: allow blocking-under-lock — reachable under Dataset's memo locks; the fan-out never blocks on the pool (try_lock or sequential fallback) and the jobs are pure compute, so the hold is bounded by the ranking work itself *)
-    let ranked = Uxsm_exec.Executor.map_list ~cost_hint exec local_top comps in
-    List.fold_left (fun acc local -> merge ~h acc local) [ empty_solution ] ranked
+  if h <= 0 then [] else solutions (rank ~exec ?order ~h g)
+
+let delta_of_graphs ~old g' =
+  let old_tbl = Hashtbl.create 64 in
+  List.iter (fun (i, j, w) -> Hashtbl.replace old_tbl (i, j) w) (Bipartite.edges old);
+  let new_tbl = Hashtbl.create 64 in
+  List.iter (fun (i, j, _) -> Hashtbl.replace new_tbl (i, j) ()) (Bipartite.edges g');
+  let set =
+    List.filter
+      (fun (i, j, w) ->
+        match Hashtbl.find_opt old_tbl (i, j) with
+        | Some w0 -> not (Float.equal w0 w)
+        | None -> true)
+      (Bipartite.edges g')
+  in
+  let remove =
+    List.filter_map
+      (fun (i, j, _) -> if Hashtbl.mem new_tbl (i, j) then None else Some (i, j))
+      (Bipartite.edges old)
+  in
+  {
+    d_set = set;
+    d_remove = remove;
+    d_n_left = Bipartite.n_left g';
+    d_n_right = Bipartite.n_right g';
+  }
+
+let apply_delta ?(exec = Uxsm_exec.Executor.sequential) d r =
+  Obs.time s_apply_delta @@ fun () ->
+  Obs.incr c_delta_applies;
+  let edges =
+    Bipartite.apply_edge_delta ~set:d.d_set ~remove:d.d_remove (Bipartite.edges r.rk_graph)
+  in
+  let g = Bipartite.create ~n_left:d.d_n_left ~n_right:d.d_n_right edges in
+  let cache = Hashtbl.create (List.length r.rk_locals) in
+  List.iter (fun (key, local) -> Hashtbl.replace cache key local) r.rk_locals;
+  let locals, prefixes, merged, reranked =
+    rank_components ~exec ~order:r.rk_order ~h:r.rk_h ~cache
+      ~reuse:(r.rk_locals, r.rk_prefixes) g
+  in
+  Obs.add c_components_reranked reranked;
+  Obs.add c_components_reused (List.length locals - reranked);
+  { r with rk_graph = g; rk_locals = locals; rk_prefixes = prefixes; rk_merged = merged }

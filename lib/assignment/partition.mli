@@ -33,3 +33,61 @@ val top :
     component-wise. [exec] (default [Sequential]) ranks the components on a
     pool of domains; the heap merge runs sequentially in component order,
     so the result is identical for every backend (a tested property). *)
+
+(** {1 Incremental maintenance}
+
+    Correspondence updates touch only some connected components, so only
+    those components need re-ranking before the heap merge re-folds over
+    cached per-component lists. *)
+
+type ranked
+(** Reusable ranking state: the graph, per-component Murty lists (keyed by
+    the component's ordered edge list) and the merged top-h. Plain data —
+    no closures — so a catalog can own one per cached mapping set. *)
+
+type delta = {
+  d_set : (int * int * float) list;
+      (** edges to add or re-score, as [(left, right, weight)] *)
+  d_remove : (int * int) list;  (** edges to drop *)
+  d_n_left : int;  (** left size {e after} the delta (schemas only grow) *)
+  d_n_right : int;  (** right size after the delta *)
+}
+
+val rank :
+  ?exec:Uxsm_exec.Executor.t ->
+  ?order:[ `Index | `Degree ] ->
+  h:int ->
+  Bipartite.t ->
+  ranked
+(** Rank every component and merge, keeping the per-component lists for
+    later {!apply_delta} calls. [solutions (rank ~h g) = top ~h g] always.
+    Raises [Invalid_argument] when [h <= 0]. *)
+
+val solutions : ranked -> Murty.solution list
+(** The merged global top-h, non-increasing. *)
+
+val graph : ranked -> Bipartite.t
+(** The graph this state ranks. *)
+
+val ranked_h : ranked -> int
+val ranked_components : ranked -> int
+
+val delta_of_graphs : old:Bipartite.t -> Bipartite.t -> delta
+(** The delta that rewrites [old]'s edge list into the new graph's, in the
+    {!Bipartite.apply_edge_delta} algebra. When the new graph was itself
+    produced by that algebra (the matching layer's [apply_delta]),
+    applying the result reconstructs its edge list {e exactly}, order
+    included. *)
+
+val apply_delta : ?exec:Uxsm_exec.Executor.t -> delta -> ranked -> ranked
+(** Apply a delta: rebuild the edge list via {!Bipartite.apply_edge_delta},
+    recompute the component index, re-rank {e only} components whose edge
+    list changed (cached lists cover the rest — membership, order and
+    weights all equal means the cached ranking is exactly a fresh one),
+    and resume the heap merge from the deepest cached prefix: the fold
+    is left-associative, so a delta confined to component [k] replays
+    prefixes [0..k-1] verbatim and re-merges only from [k] on. Bumps
+    [partition.components_reranked] / [partition.components_reused];
+    re-ranked components run on [exec] with a [~cost_hint] covering only
+    the miss work. The result equals [rank ~h] of the patched graph (a
+    tested property). *)

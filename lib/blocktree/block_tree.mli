@@ -25,6 +25,25 @@ type t
 val build : ?params:params -> Uxsm_mapping.Mapping_set.t -> t
 (** Algorithm 1. *)
 
+val update : old:t -> Uxsm_mapping.Mapping_set.t -> t
+(** [update ~old mset'] — the tree [build ~params:(params old) mset']
+    computed incrementally: target elements whose c-blocks lost or gained
+    support (some mapping's source choice for them changed, or they are
+    new) are rebuilt together with their ancestors, while every other
+    node's block list — and hence its {!node_stats}, and the plan costs
+    derived from them — is spliced in unchanged from [old]. The
+    compression pass reruns wholesale (it is a cheap pure function of the
+    node lists). Falls back to a full rebuild, same result, when subtree
+    reuse cannot reproduce the from-scratch tree: [old] was truncated by
+    a MAX_B/MAX_F cap, the budget runs out during the replay, [|M|] or
+    the threshold changed, or old target ids are not stable in the new
+    target schema. The result is always identical to the from-scratch
+    build, and {!validate} passes on it (tested properties). *)
+
+val caps_hit : t -> bool
+(** A MAX_B/MAX_F cap truncated this build ([update] on such a tree falls
+    back to a full rebuild). *)
+
 val mapping_set : t -> Uxsm_mapping.Mapping_set.t
 val params : t -> params
 

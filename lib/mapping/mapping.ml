@@ -32,6 +32,7 @@ let pairs t =
   !out
 
 let source_of t y = if t.target_to_source.(y) < 0 then None else Some t.target_to_source.(y)
+let same_source_at a b y = a.target_to_source.(y) = b.target_to_source.(y)
 let target_of t x = if t.source_to_target.(x) < 0 then None else Some t.source_to_target.(x)
 
 let covers_targets t ys = List.for_all (fun y -> t.target_to_source.(y) >= 0) ys

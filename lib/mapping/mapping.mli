@@ -32,6 +32,13 @@ val source_of : t -> Uxsm_schema.Schema.element -> Uxsm_schema.Schema.element op
     [y], if any. This is the lookup direction used by query rewriting and
     the block tree. *)
 
+val same_source_at : t -> t -> Uxsm_schema.Schema.element -> bool
+(** [same_source_at a b y] — whether [a] and [b] choose the same source for
+    target element [y] (or both none). Equivalent to
+    [source_of a y = source_of b y] but allocation-free; the block tree's
+    dirty scan compares every (mapping, target element) slot, so the
+    option boxing would dominate small updates. *)
+
 val target_of : t -> Uxsm_schema.Schema.element -> Uxsm_schema.Schema.element option
 
 val covers_targets : t -> Uxsm_schema.Schema.element list -> bool

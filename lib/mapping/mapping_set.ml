@@ -1,9 +1,15 @@
 module Schema = Uxsm_schema.Schema
+module Obs = Uxsm_obs.Obs
+
+let c_updates = Obs.counter "mapping_set.updates"
 
 type t = {
   matching : Matching.t;
   mappings : Mapping.t array;
   probs : float array;
+  ranked : Uxsm_assignment.Partition.ranked option;
+      (* component provenance of the Partitioned method; None for Murty
+         and of_mappings sets, which cannot be updated incrementally *)
 }
 
 type method_ =
@@ -15,14 +21,7 @@ let normalize scores =
   if total <= 0.0 then Array.map (fun _ -> 1.0 /. float_of_int (Array.length scores)) scores
   else Array.map (fun s -> s /. total) scores
 
-let generate ?(method_ = Partitioned) ?(exec = Uxsm_exec.Executor.sequential) ~h u =
-  if h <= 0 then invalid_arg "Mapping_set.generate: h must be positive";
-  let g = Matching.to_bipartite u in
-  let solutions =
-    match method_ with
-    | Murty -> Uxsm_assignment.Murty.top ~h g
-    | Partitioned -> Uxsm_assignment.Partition.top ~exec ~h g
-  in
+let of_solutions ~ranked u solutions =
   let source = Matching.source u and target = Matching.target u in
   let mappings =
     Array.of_list
@@ -32,7 +31,16 @@ let generate ?(method_ = Partitioned) ?(exec = Uxsm_exec.Executor.sequential) ~h
          solutions)
   in
   let probs = normalize (Array.map Mapping.score mappings) in
-  { matching = u; mappings; probs }
+  { matching = u; mappings; probs; ranked }
+
+let generate ?(method_ = Partitioned) ?(exec = Uxsm_exec.Executor.sequential) ~h u =
+  if h <= 0 then invalid_arg "Mapping_set.generate: h must be positive";
+  let g = Matching.to_bipartite u in
+  match method_ with
+  | Murty -> of_solutions ~ranked:None u (Uxsm_assignment.Murty.top ~h g)
+  | Partitioned ->
+    let r = Uxsm_assignment.Partition.rank ~exec ~h g in
+    of_solutions ~ranked:(Some r) u (Uxsm_assignment.Partition.solutions r)
 
 let of_mappings u entries =
   if entries = [] then invalid_arg "Mapping_set.of_mappings: empty set";
@@ -42,7 +50,43 @@ let of_mappings u entries =
   let entries = List.stable_sort (fun (_, p1) (_, p2) -> Float.compare p2 p1) entries in
   let mappings = Array.of_list (List.map fst entries) in
   let probs = normalize (Array.of_list (List.map snd entries)) in
-  { matching = u; mappings; probs }
+  { matching = u; mappings; probs; ranked = None }
+
+let ranked t = t.ranked
+
+let update ?(exec = Uxsm_exec.Executor.sequential) u' t =
+  match t.ranked with
+  | None ->
+    invalid_arg
+      "Mapping_set.update: set has no component provenance (generate it with the \
+       Partitioned method)"
+  | Some r ->
+    Obs.incr c_updates;
+    let module Partition = Uxsm_assignment.Partition in
+    let module Bipartite = Uxsm_assignment.Bipartite in
+    let g' = Matching.to_bipartite u' in
+    let d = Partition.delta_of_graphs ~old:(Partition.graph r) g' in
+    let r' = Partition.apply_delta ~exec d r in
+    (* The delta algebra reconstructs the new edge list exactly when [u']
+       came from [Matching.apply_delta]; an arbitrary matching (edges
+       permuted, sizes shrunk) falls back to a fresh rank so the result
+       still equals [generate ~h u'] in every case. *)
+    let r' =
+      let g = Partition.graph r' in
+      if
+        Bipartite.edges g = Bipartite.edges g'
+        && Bipartite.n_left g = Bipartite.n_left g'
+        && Bipartite.n_right g = Bipartite.n_right g'
+      then r'
+      else Partition.rank ~exec ~h:(Partition.ranked_h r) g'
+    in
+    (* Rebuild every Mapping.t from the merged solutions. Keying old
+       mappings for verbatim reuse was measured slower than rebuilding:
+       [Mapping.pairs] reconstructs its list from schema-sized lookup
+       arrays on every call, while [Mapping.of_pairs] is a cheap linear
+       fill — and a re-score delta shifts most merged scores anyway, so
+       the table rarely hit. *)
+    of_solutions ~ranked:(Some r') u' (Partition.solutions r')
 
 let matching t = t.matching
 let source t = Matching.source t.matching

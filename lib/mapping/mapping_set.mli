@@ -28,6 +28,23 @@ val of_mappings : Matching.t -> (Mapping.t * float) list -> t
     Figure 3 running example). Probabilities must be positive; they are
     normalized to sum to 1. *)
 
+val ranked : t -> Uxsm_assignment.Partition.ranked option
+(** Component provenance: the reusable per-component ranking state of the
+    [Partitioned] method. [None] for [Murty]-generated and
+    {!of_mappings} sets, which {!update} therefore rejects. *)
+
+val update : ?exec:Uxsm_exec.Executor.t -> Matching.t -> t -> t
+(** [update u' t] — the set [generate ~h u'] computed incrementally from
+    [t]'s component provenance: only components of the correspondence
+    graph touched by the difference between [t]'s matching and [u'] are
+    re-ranked (see {!Uxsm_assignment.Partition.apply_delta}), the heap
+    merge resumes from the deepest cached prefix, and probabilities
+    renormalize over the new scores. The result is identical to a
+    from-scratch [generate] (a tested property); a matching that did
+    not come from [Matching.apply_delta] on [t]'s matching simply falls
+    back to a full re-rank. Raises [Invalid_argument] when [t] has no
+    provenance ({!ranked} is [None]). *)
+
 val matching : t -> Matching.t
 val source : t -> Uxsm_schema.Schema.t
 val target : t -> Uxsm_schema.Schema.t

@@ -38,3 +38,38 @@ val corrs_of_source : t -> Uxsm_schema.Schema.element -> corr list
 val to_bipartite : t -> Uxsm_assignment.Bipartite.t
 (** The correspondence graph: left = source elements, right = target
     elements, one weighted edge per correspondence. *)
+
+(** {1 Incremental deltas}
+
+    A delta is the unit of incremental corpus maintenance: re-scored,
+    added or removed correspondences, plus appended schema elements.
+    Elements are addressed by their ['.']-joined path (the
+    {!Uxsm_schema.Schema.path_string} format), so deltas survive
+    serialization and the wire protocol without leaking pre-order ids. *)
+
+type delta = {
+  set_scores : (string * string * float) list;
+      (** [(source path, target path, score)] — re-score an existing
+          correspondence in place, or add a new one (appended after the
+          existing ones) *)
+  remove_corrs : (string * string) list;
+      (** correspondences to drop; removing an absent one is an error *)
+  add_source : (string * string) list;
+      (** [(parent path, name)] — append a new leaf element under the
+          parent; the parent must lie on the rightmost root-to-leaf
+          spine so existing pre-order ids stay stable *)
+  add_target : (string * string) list;
+}
+
+val empty_delta : delta
+val delta_is_empty : delta -> bool
+
+val apply_delta : delta -> t -> (t, string) result
+(** Apply a delta: extend the schemas (append-only), resolve paths
+    against the extended schemas (so a delta may add an element and a
+    correspondence to it in one step), and rewrite the correspondence
+    list in the {!Uxsm_assignment.Bipartite.apply_edge_delta} algebra —
+    re-scores keep their position, additions append. [Error] (and no
+    change) on unknown paths, out-of-range scores, removals of absent
+    correspondences, or element additions that would renumber existing
+    elements. *)

@@ -48,7 +48,8 @@ let ambiguity_histogram mset =
       let prev = try Hashtbl.find counts a with Not_found -> 0 in
       Hashtbl.replace counts a (prev + 1))
     (mapped_targets mset);
-  Hashtbl.fold (fun a c acc -> (a, c) :: acc) counts [] |> List.sort compare
+  Hashtbl.fold (fun a c acc -> (a, c) :: acc) counts []
+  |> List.sort (fun (a1, _) (a2, _) -> Int.compare a1 a2)
 
 let consensus mset =
   List.filter_map

@@ -351,13 +351,55 @@ let check_loadgen lg =
   if lg.lg_completed > lg.lg_sent then failf "loadgen: completed exceeds sent";
   List.iter (fun (n, v) -> check_hist n v) lg.lg_latency
 
+(* The incremental-maintenance ablation carries its own invariants: the
+   whole point of the delta path is that it beats a full rebuild while
+   re-ranking fewer components than exist, so a record claiming otherwise
+   is evidence of a broken run (or a regression) and must not land as a
+   baseline. *)
+let check_abl_update e =
+  let m name =
+    List.find_opt (fun m -> m.m_name = name) e.e_measurements
+  in
+  List.iter
+    (fun meas ->
+      match String.index_opt meas.m_name '-' with
+      | Some i when String.sub meas.m_name i (String.length meas.m_name - i) = "-incr" -> (
+        let id = String.sub meas.m_name 0 i in
+        match m (id ^ "-full") with
+        | None -> failf "abl_update: %S has no matching %S" meas.m_name (id ^ "-full")
+        | Some full ->
+          if meas.m_seconds_per_run >= full.m_seconds_per_run then
+            failf "abl_update: incremental %S (%g s) not faster than full rebuild (%g s)" id
+              meas.m_seconds_per_run full.m_seconds_per_run)
+      | _ -> ())
+    e.e_measurements;
+  List.iter
+    (fun (name, v) ->
+      match String.index_opt name '_' with
+      | Some i when String.sub name i (String.length name - i) = "_reranked" -> (
+        let id = String.sub name 0 i in
+        let reranked =
+          match v with
+          | Json.Int n -> n
+          | _ -> failf "abl_update: param %S is not an int" name
+        in
+        match List.assoc_opt (id ^ "_components") e.e_params with
+        | Some (Json.Int total) ->
+          if reranked >= total then
+            failf "abl_update: %s re-ranked %d of %d components — not incremental" id reranked
+              total
+        | _ -> failf "abl_update: param %S has no matching %S" name (id ^ "_components"))
+      | _ -> ())
+    e.e_params
+
 let check_run r =
   try
     (match (r.r_kind, r.r_loadgen) with
     | "loadgen", None -> failf "loadgen record without a \"loadgen\" payload"
     | "loadgen", Some lg -> check_loadgen lg
     | "bench", Some _ -> failf "bench record with a \"loadgen\" payload"
-    | "bench", None -> ()
+    | "bench", None ->
+      List.iter (fun e -> if e.e_id = "abl_update" then check_abl_update e) r.r_experiments
     | k, _ -> failf "unknown record kind %S" k);
     Ok ()
   with Fail msg -> Error msg

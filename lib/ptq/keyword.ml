@@ -63,7 +63,7 @@ let interpretations ?(limit = 16) schema terms =
     let seen = Hashtbl.create 16 in
     List.filter_map
       (fun picks ->
-        let p = pattern_for schema (List.sort_uniq compare picks) in
+        let p = pattern_for schema (List.sort_uniq Int.compare picks) in
         let key = Pattern.to_string p in
         if Hashtbl.mem seen key then None
         else begin

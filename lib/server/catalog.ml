@@ -18,6 +18,14 @@ let c_misses = Obs.counter "server.cache.misses"
 let c_evictions = Obs.counter "server.cache.evictions"
 let s_build = Obs.span "server.artifact_build"
 
+(* Incremental maintenance traffic (the `update` request). *)
+let c_updates = Obs.counter "catalog.updates"
+let c_upd_msets = Obs.counter "catalog.update.msets_patched"
+let c_upd_trees = Obs.counter "catalog.update.trees_patched"
+let c_upd_plans = Obs.counter "catalog.update.plans_invalidated"
+let c_upd_docs = Obs.counter "catalog.update.docs_rebuilt"
+let s_update = Obs.span "catalog.update"
+
 type plan_key = {
   pk_corpus : string;
   pk_pattern : string;
@@ -63,6 +71,10 @@ type entry = {
   spec : Protocol.source_spec;
   doc_seed : int;
   doc_nodes : int option;
+  deltas : Matching.delta list;
+      (* updates applied since registration, in order; an evicted matching
+         rebuilds from the spec and replays these, so eviction-rebuild
+         reproduces the maintained corpus, not the original one *)
 }
 
 (* One shard per corpus. Every cache key names exactly one corpus, so a
@@ -162,16 +174,24 @@ let entry_locked sh name =
   | None -> failf "unknown corpus %S (register it first)" name
 
 let build_matching t (e : entry) =
-  match e.spec with
-  | Protocol.From_dataset (d, seed) -> Dataset.matching ~seed ~exec:t.exec d
-  | Protocol.From_matching_text text -> (
-    match Serialize.matching_of_string text with
-    | Ok m -> m
-    | Error msg -> failf "bad matching text: %s" msg)
-  | Protocol.From_mapping_set_text text -> (
-    match Serialize.mapping_set_of_string text with
-    | Ok mset -> Mapping_set.matching mset
-    | Error msg -> failf "bad mapping-set text: %s" msg)
+  let base =
+    match e.spec with
+    | Protocol.From_dataset (d, seed) -> Dataset.matching ~seed ~exec:t.exec d
+    | Protocol.From_matching_text text -> (
+      match Serialize.matching_of_string text with
+      | Ok m -> m
+      | Error msg -> failf "bad matching text: %s" msg)
+    | Protocol.From_mapping_set_text text -> (
+      match Serialize.mapping_set_of_string text with
+      | Ok mset -> Mapping_set.matching mset
+      | Error msg -> failf "bad mapping-set text: %s" msg)
+  in
+  List.fold_left
+    (fun m d ->
+      match Matching.apply_delta d m with
+      | Ok m -> m
+      | Error msg -> failf "replaying a stored update failed: %s" msg)
+    base e.deltas
 
 let matching_locked t sh name =
   let key = K_matching name in
@@ -266,7 +286,7 @@ let register t ~name ~doc_seed ?doc_nodes spec =
              whole shard cache belongs to this corpus, so clear it. *)
           let previous = Atomic.get sh.sh_entry in
           if previous <> None then Lru.clear sh.sh_cache;
-          Atomic.set sh.sh_entry (Some { spec; doc_seed; doc_nodes });
+          Atomic.set sh.sh_entry (Some { spec; doc_seed; doc_nodes; deltas = [] });
           try
             let m = matching_locked t sh name in
             let d = doc_locked t sh name in
@@ -277,6 +297,111 @@ let register t ~name ~doc_seed ?doc_nodes spec =
             Lru.clear sh.sh_cache;
             Atomic.set sh.sh_entry previous;
             raise e))
+
+type update_stats = {
+  u_capacity : int;
+  u_source_elements : int;
+  u_target_elements : int;
+  u_msets_patched : int;
+  u_trees_patched : int;
+  u_plans_invalidated : int;
+  u_doc_rebuilt : bool;
+}
+
+(* Apply a delta to a registered corpus, patching every cached artifact in
+   place instead of evicting it. Two phases under the shard lock: a patch
+   phase that computes every replacement artifact (raising on a bad delta
+   with the cache untouched), then a non-raising commit phase that swaps
+   the replacements in, appends the delta to the entry (so an eviction
+   rebuild replays it) and drops the corpus' prepared plans — the only
+   artifacts not worth patching, since compilation is cheap next to the
+   derivations and a plan pins its whole stale context. *)
+let update t ~name delta =
+  wrap (fun () ->
+      with_shard t name (fun sh ->
+          Obs.time s_update @@ fun () ->
+          if Matching.delta_is_empty delta then failf "update %S: empty delta" name;
+          let e = entry_locked sh name in
+          let m_old = matching_locked t sh name in
+          let m_new =
+            match Matching.apply_delta delta m_old with
+            | Ok m -> m
+            | Error msg -> failf "update %S: %s" name msg
+          in
+          let source_grew =
+            Uxsm_schema.Schema.size (Matching.source m_new)
+            <> Uxsm_schema.Schema.size (Matching.source m_old)
+          in
+          let keys = Lru.keys sh.sh_cache in
+          let patched_msets =
+            List.filter_map
+              (fun key ->
+                match key with
+                | K_mset (_, h) -> (
+                  match Lru.peek sh.sh_cache key with
+                  | Some (A_mset s) ->
+                    Some
+                      (h, key, Obs.time s_build (fun () -> Mapping_set.update ~exec:t.exec m_new s))
+                  | _ -> None)
+                | _ -> None)
+              keys
+          in
+          let patched_trees =
+            List.filter_map
+              (fun key ->
+                match key with
+                | K_tree (_, h, _) -> (
+                  match Lru.peek sh.sh_cache key with
+                  | Some (A_tree (s, tr)) ->
+                    (* Share the standalone mset patch of the same [h] when
+                       there is one (they are the same object after a
+                       cache-warm build); otherwise patch the pinned one. *)
+                    let s' =
+                      match List.find_opt (fun (h', _, _) -> h' = h) patched_msets with
+                      | Some (_, _, s') -> s'
+                      | None ->
+                        Obs.time s_build (fun () -> Mapping_set.update ~exec:t.exec m_new s)
+                    in
+                    Some (key, s', Obs.time s_build (fun () -> Block_tree.update ~old:tr s'))
+                  | _ -> None)
+                | _ -> None)
+              keys
+          in
+          (* The generated document depends only on the source schema (and
+             the entry's seed), so it is rebuilt only when the delta grew
+             that schema. *)
+          let doc' =
+            if source_grew && List.exists (function K_doc _ -> true | _ -> false) keys then
+              Some
+                (Obs.time s_build (fun () ->
+                     let source = Matching.source m_new in
+                     match e.doc_nodes with
+                     | Some n -> Gen_doc.generate ~seed:e.doc_seed ~target_nodes:n source
+                     | None -> Gen_doc.generate ~seed:e.doc_seed source))
+            else None
+          in
+          let plan_keys = List.filter (function K_plan _ -> true | _ -> false) keys in
+          (* Commit. *)
+          Atomic.set sh.sh_entry (Some { e with deltas = e.deltas @ [ delta ] });
+          cache_put sh (K_matching name) (A_matching m_new);
+          List.iter (fun (_, key, s') -> cache_put sh key (A_mset s')) patched_msets;
+          List.iter (fun (key, s', tr') -> cache_put sh key (A_tree (s', tr'))) patched_trees;
+          (match doc' with Some d -> cache_put sh (K_doc name) (A_doc d) | None -> ());
+          List.iter (fun k -> Lru.remove sh.sh_cache k) plan_keys;
+          Obs.incr c_updates;
+          Obs.add c_upd_msets (List.length patched_msets);
+          Obs.add c_upd_trees (List.length patched_trees);
+          Obs.add c_upd_plans (List.length plan_keys);
+          if doc' <> None then Obs.incr c_upd_docs;
+          {
+            u_capacity = Matching.capacity m_new;
+            u_source_elements = Uxsm_schema.Schema.size (Matching.source m_new);
+            u_target_elements = Uxsm_schema.Schema.size (Matching.target m_new);
+            u_msets_patched = List.length patched_msets;
+            u_trees_patched = List.length patched_trees;
+            u_plans_invalidated = List.length plan_keys;
+            u_doc_rebuilt = doc' <> None;
+          }))
 
 let corpora t =
   (* Spec reads are atomic, so the listing never blocks behind a shard

@@ -70,6 +70,35 @@ val register :
 val corpora : t -> (string * string) list
 (** Registered corpora as [(name, spec description)], sorted by name. *)
 
+type update_stats = {
+  u_capacity : int;  (** correspondence count after the delta *)
+  u_source_elements : int;
+  u_target_elements : int;
+  u_msets_patched : int;  (** cached mapping sets re-ranked incrementally *)
+  u_trees_patched : int;  (** cached block trees rebuilt subtree-wise *)
+  u_plans_invalidated : int;  (** prepared plans dropped (recompiled on next use) *)
+  u_doc_rebuilt : bool;  (** the generated document was regenerated (source schema grew) *)
+}
+
+val update :
+  t -> name:string -> Uxsm_mapping.Matching.delta -> (update_stats, string) result
+(** Apply an incremental delta to a registered corpus. The matching is
+    patched via {!Uxsm_mapping.Matching.apply_delta}; every cached mapping
+    set is re-ranked through {!Uxsm_mapping.Mapping_set.update} (only the
+    connected components the delta touches are re-enumerated), every
+    cached block tree through {!Uxsm_blocktree.Block_tree.update} (only
+    dirty subtrees rebuilt), and the generated document is regenerated
+    only when the delta grew the source schema. Prepared plans of the
+    corpus are dropped rather than patched — compilation is cheap and a
+    plan pins its entire stale context. The delta is appended to the
+    corpus entry, so an artifact evicted later rebuilds to the maintained
+    state (spec + replay), never the original one.
+
+    Runs entirely under the corpus' shard lock with compute-then-commit
+    discipline: a rejected delta ([Error]) leaves the corpus and its cache
+    exactly as they were. Concurrent traffic on other corpora is not
+    serialized against an update. *)
+
 val matching : t -> string -> (Uxsm_mapping.Matching.t, string) result
 (** [Error] when the corpus is unknown or its spec no longer builds. *)
 

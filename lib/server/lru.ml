@@ -83,6 +83,14 @@ let find t k =
 
 let mem t k = Hashtbl.mem t.tbl k
 
+(* Read without promoting or counting: the catalog's update path walks
+   every cached artifact of a corpus to patch it, which is maintenance,
+   not demand — it must not skew recency or the hit/miss accounting. *)
+let peek t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n -> Some n.value
+  | None -> None
+
 let evict_over_capacity t =
   while Hashtbl.length t.tbl > t.cap do
     match t.tail with

@@ -29,6 +29,11 @@ val find : ('k, 'v) t -> 'k -> 'v option
 val mem : ('k, 'v) t -> 'k -> bool
 (** Pure membership probe: no promotion, no counter traffic. *)
 
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Pure lookup: no promotion, no counter traffic. Maintenance passes
+    (the catalog's in-place artifact patching) read through this so they
+    do not skew recency or the demand hit/miss accounting. *)
+
 val put : ('k, 'v) t -> 'k -> 'v -> unit
 (** Insert or replace, leaving the entry most-recently-used. Evicts from
     the LRU end if the cache would exceed its capacity. *)

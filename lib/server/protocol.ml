@@ -26,6 +26,7 @@ type request =
     }
   | Explain of { corpus : string; pattern : string; h : int; tau : float }
   | Save of { corpus : string; h : int; path : string option }
+  | Update of { corpus : string; delta : Uxsm_mapping.Matching.delta }
   | Stats
   | Stats_reset
   | Shutdown
@@ -48,12 +49,13 @@ let op_name = function
   | Query _ -> "query"
   | Explain _ -> "explain"
   | Save _ -> "save"
+  | Update _ -> "update"
   | Stats -> "stats"
   | Stats_reset -> "stats_reset"
   | Shutdown -> "shutdown"
 
 let is_pure = function
-  | Register _ | Stats_reset | Shutdown -> false
+  | Register _ | Update _ | Stats_reset | Shutdown -> false
   | Ping | Match _ | Mappings _ | Query _ | Explain _ | Save _ | Stats -> true
 
 (* ------------------------------ decoding -------------------------- *)
@@ -133,6 +135,67 @@ let register_of j =
   | [] -> failf "%s: need one of \"dataset\", \"matching\", \"mapping_set\"" op
   | _ -> failf "%s: fields \"dataset\", \"matching\", \"mapping_set\" are exclusive" op
 
+(* An update's delta arrives as four optional arrays of small objects:
+   {"set":[{"source":PATH,"target":PATH,"score":X}...],
+    "remove":[{"source":PATH,"target":PATH}...],
+    "add_source_elements":[{"parent":PATH,"name":NAME}...],
+    "add_target_elements":[...]}. Paths use the '.'-joined path_string
+   format; an entirely empty delta is rejected rather than silently
+   acknowledged. *)
+let update_of j =
+  let op = "update" in
+  let corpus = corpus_of op j in
+  let entries name =
+    match Json.member name j with
+    | None | Some Json.Null -> []
+    | Some (Json.List items) -> items
+    | Some _ -> failf "%s: field %S is not an array" op name
+  in
+  let entry_str name item field =
+    match Json.member field item with
+    | Some (Json.String s) -> s
+    | Some _ -> failf "%s: field %S entries: field %S is not a string" op name field
+    | None -> failf "%s: field %S entries: missing field %S" op name field
+  in
+  let set =
+    List.map
+      (fun item ->
+        let score =
+          match Json.member "score" item with
+          | Some v -> (
+            match Json.to_float v with
+            | Some f -> f
+            | None -> failf "%s: field \"set\" entries: field \"score\" is not a number" op)
+          | None -> failf "%s: field \"set\" entries: missing field \"score\"" op
+        in
+        (entry_str "set" item "source", entry_str "set" item "target", score))
+      (entries "set")
+  in
+  let remove =
+    List.map
+      (fun item -> (entry_str "remove" item "source", entry_str "remove" item "target"))
+      (entries "remove")
+  in
+  let adds name =
+    List.map
+      (fun item -> (entry_str name item "parent", entry_str name item "name"))
+      (entries name)
+  in
+  let delta =
+    {
+      Uxsm_mapping.Matching.set_scores = set;
+      remove_corrs = remove;
+      add_source = adds "add_source_elements";
+      add_target = adds "add_target_elements";
+    }
+  in
+  if Uxsm_mapping.Matching.delta_is_empty delta then
+    failf
+      "%s: need at least one of \"set\", \"remove\", \"add_source_elements\", \
+       \"add_target_elements\""
+      op;
+  Update { corpus; delta }
+
 let request_of_json j =
   match str "request" "op" j with
   | "ping" -> Ping
@@ -161,6 +224,7 @@ let request_of_json j =
   | "save" ->
     let op = "save" in
     Save { corpus = corpus_of op j; h = h_of op j; path = str_opt op "path" j }
+  | "update" -> update_of j
   | "stats" -> Stats
   | "stats_reset" -> Stats_reset
   | "shutdown" -> Shutdown
@@ -212,6 +276,41 @@ let to_json { id; req } =
     | Save { corpus; h; path } ->
       [ ("corpus", Json.String corpus); ("h", Json.Int h) ]
       @ (match path with None -> [] | Some p -> [ ("path", Json.String p) ])
+    | Update { corpus; delta } ->
+      let pair_entries f l =
+        Json.List (List.map f l)
+      in
+      [ ("corpus", Json.String corpus) ]
+      @ (match delta.Uxsm_mapping.Matching.set_scores with
+        | [] -> []  (* empty arrays round-trip as absence *)
+        | l ->
+          [ ( "set",
+              pair_entries
+                (fun (s, t, w) ->
+                  Json.Assoc
+                    [ ("source", Json.String s); ("target", Json.String t);
+                      ("score", Json.Float w) ])
+                l ) ])
+      @ (match delta.Uxsm_mapping.Matching.remove_corrs with
+        | [] -> []
+        | l ->
+          [ ( "remove",
+              pair_entries
+                (fun (s, t) ->
+                  Json.Assoc [ ("source", Json.String s); ("target", Json.String t) ])
+                l ) ])
+      @ (let adds name l =
+           match l with
+           | [] -> []
+           | l ->
+             [ ( name,
+                 pair_entries
+                   (fun (p, n) ->
+                     Json.Assoc [ ("parent", Json.String p); ("name", Json.String n) ])
+                   l ) ]
+         in
+         adds "add_source_elements" delta.Uxsm_mapping.Matching.add_source
+         @ adds "add_target_elements" delta.Uxsm_mapping.Matching.add_target)
     | Stats | Stats_reset | Shutdown -> []
   in
   Json.Assoc (id_field @ (("op", Json.String (op_name req)) :: fields))

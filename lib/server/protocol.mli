@@ -43,6 +43,19 @@ type request =
     }
   | Explain of { corpus : string; pattern : string; h : int; tau : float }
   | Save of { corpus : string; h : int; path : string option }
+  | Update of { corpus : string; delta : Uxsm_mapping.Matching.delta }
+      (** Incremental corpus maintenance: apply a correspondence/element
+          delta to a registered corpus, patching its cached artifacts in
+          place (see {!Catalog.update}) instead of evicting them. On the
+          wire the delta is four optional arrays:
+          ["set"] ([{"source","target","score"}] objects — re-score or
+          add correspondences, paths in the ['.']-joined path format),
+          ["remove"] ([{"source","target"}]),
+          ["add_source_elements"] / ["add_target_elements"]
+          ([{"parent","name"}] — append-only schema growth). An entirely
+          empty delta is a parse error. {b Barrier semantics}: like
+          [Register], the op is not pure, so pipelined requests before it
+          see the old corpus and requests after it see the patched one. *)
   | Stats
   | Stats_reset
       (** Zero every process-global [Uxsm_obs] counter, span and histogram
@@ -73,13 +86,14 @@ val default_tau : float
 
 val op_name : request -> string
 (** The wire name: ["ping"], ["register"], ["match"], ["mappings"],
-    ["query"], ["query_topk"], ["explain"], ["save"], ["stats"],
-    ["stats_reset"], ["shutdown"]. *)
+    ["query"], ["query_topk"], ["explain"], ["save"], ["update"],
+    ["stats"], ["stats_reset"], ["shutdown"]. *)
 
 val is_pure : request -> bool
 (** [true] when the request neither mutates server-global state nor stops
     the server, so a batch of them may be dispatched concurrently.
-    [Register], [Stats_reset] and [Shutdown] are the barriers. *)
+    [Register], [Update], [Stats_reset] and [Shutdown] are the
+    barriers. *)
 
 type parse_error = {
   err_id : Uxsm_util.Json.t option;

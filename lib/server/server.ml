@@ -38,7 +38,7 @@ let op_latencies =
   List.map
     (fun op -> (op, op_latency op))
     [ "ping"; "register"; "match"; "mappings"; "query"; "query_topk"; "explain"; "save";
-      "stats"; "stats_reset"; "shutdown" ]
+      "update"; "stats"; "stats_reset"; "shutdown" ]
 
 let latency_of op =
   match List.assoc_opt op op_latencies with
@@ -192,6 +192,18 @@ let dispatch t (req : Protocol.request) : (string * Json.t) list =
       output_string oc text;
       close_out oc;
       base @ [ ("path", Json.String p) ])
+  | Protocol.Update { corpus; delta } ->
+    let st = ok_or (Catalog.update t.cat ~name:corpus delta) in
+    [
+      ("corpus", Json.String corpus);
+      ("capacity", Json.Int st.Catalog.u_capacity);
+      ("source_elements", Json.Int st.Catalog.u_source_elements);
+      ("target_elements", Json.Int st.Catalog.u_target_elements);
+      ("msets_patched", Json.Int st.Catalog.u_msets_patched);
+      ("trees_patched", Json.Int st.Catalog.u_trees_patched);
+      ("plans_invalidated", Json.Int st.Catalog.u_plans_invalidated);
+      ("doc_rebuilt", Json.Bool st.Catalog.u_doc_rebuilt);
+    ]
   | Protocol.Stats ->
     let snap = Obs.nonzero (Obs.snapshot ()) in
     let cache_stats = Catalog.cache_stats t.cat in

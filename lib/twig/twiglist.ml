@@ -67,7 +67,8 @@ let matches (p : Pattern.t) doc =
   (* Merge the candidate streams into one document-order event list. *)
   let events =
     List.concat (List.init idx.n (fun qid -> List.map (fun v -> (v, qid)) (candidates qid)))
-    |> List.sort compare
+    |> List.sort (fun (v1, q1) (v2, q2) ->
+           match Int.compare v1 v2 with 0 -> Int.compare q1 q2 | c -> c)
   in
   let lists : entry list ref array = Array.init idx.n (fun _ -> ref []) in
   let lengths = Array.make idx.n 0 in

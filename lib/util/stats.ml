@@ -13,7 +13,7 @@ let stddev xs =
 let percentile p xs =
   if xs = [] then invalid_arg "Stats.percentile: empty list";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = List.sort compare xs in
+  let sorted = List.sort Float.compare xs in
   let arr = Array.of_list sorted in
   let n = Array.length arr in
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in

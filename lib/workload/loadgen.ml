@@ -19,6 +19,7 @@ module Profile = struct
     t_k : int option;
     t_evaluator : string;
     t_weight : float;
+    t_corrs : int;
   }
 
   type corpus = {
@@ -93,11 +94,16 @@ module Profile = struct
         t_k = k;
         t_evaluator = opt ~default:"auto" Json.to_string_opt "a string" "evaluator" j;
         t_weight = opt ~default:1.0 Json.to_float "a number" "weight" j;
+        t_corrs = opt ~default:1 Json.to_int "an integer" "corrs" j;
       }
     in
     (match t.t_op with
-    | "query" | "query_topk" | "mappings" | "ping" -> ()
-    | op -> failf "template op %S is not one of \"query\", \"query_topk\", \"mappings\", \"ping\"" op);
+    | "query" | "query_topk" | "mappings" | "ping" | "update" -> ()
+    | op ->
+      failf
+        "template op %S is not one of \"query\", \"query_topk\", \"mappings\", \"ping\", \
+         \"update\""
+        op);
     (match t.t_op with
     | "query" | "query_topk" -> (
       (match Uxsm_twig.Pattern_parser.parse t.t_pattern with
@@ -110,6 +116,7 @@ module Profile = struct
     (match t.t_evaluator with
     | "auto" | "basic" | "tree" -> ()
     | e -> failf "template evaluator %S is not one of \"auto\", \"basic\", \"tree\"" e);
+    if t.t_corrs < 1 then failf "template field \"corrs\" must be >= 1";
     if t.t_h < 1 then failf "template field \"h\" must be >= 1";
     if not (t.t_tau > 0.0 && t.t_tau <= 1.0) then failf "template field \"tau\" must be in (0, 1]";
     if (not (Float.is_finite t.t_weight)) || t.t_weight < 0.0 then
@@ -170,7 +177,7 @@ module Profile = struct
       if String.trim p.p_id = "" then failf "field \"id\" must be non-empty";
       if p.p_corpora = [] then failf "field \"corpora\" must be non-empty";
       let names = List.map (fun c -> c.c_name) p.p_corpora in
-      if List.length (List.sort_uniq compare names) <> List.length names then
+      if List.length (List.sort_uniq String.compare names) <> List.length names then
         failf "corpus names must be distinct";
       if (not (Float.is_finite p.p_zipf_s)) || p.p_zipf_s < 0.0 then
         failf "field \"zipf_s\" must be finite and >= 0";
@@ -192,7 +199,10 @@ module Profile = struct
         | _ -> [])
       @ [ ("h", Json.Int t.t_h); ("tau", Json.Float t.t_tau) ]
       @ (match t.t_k with None -> [] | Some k -> [ ("k", Json.Int k) ])
-      @ [ ("evaluator", Json.String t.t_evaluator); ("weight", Json.Float t.t_weight) ])
+      @ [ ("evaluator", Json.String t.t_evaluator); ("weight", Json.Float t.t_weight) ]
+      (* only the update op reads "corrs"; omitting it elsewhere keeps the
+         rendering of pre-existing profiles unchanged *)
+      @ (match t.t_op with "update" -> [ ("corrs", Json.Int t.t_corrs) ] | _ -> []))
 
   let to_json p =
     Json.Assoc
@@ -267,7 +277,7 @@ module Profile = struct
     | Closed _ -> None
     | Open { rps; _ } -> Some rps
 
-  let ops p = List.sort_uniq compare (List.map (fun t -> t.t_op) p.p_templates)
+  let ops p = List.sort_uniq String.compare (List.map (fun t -> t.t_op) p.p_templates)
 end
 
 (* ------------------------------ sampling -------------------------- *)
@@ -285,6 +295,12 @@ module Sampler = struct
     s_corpus_cum : float array;  (* cumulative zipf weights *)
     s_templates : Profile.template array;
     s_template_cum : float array;
+    s_corpus_spec : (string * (string * int)) list;  (* name -> (dataset id, seed) *)
+    s_corr_paths : (string, (string * string) array) Hashtbl.t;
+        (* corpus -> correspondence (source path, target path) pairs, built
+           lazily on the first update draw for that corpus (Dataset.matching
+           is memoized, so the matcher runs once per (dataset, seed) per
+           process, not per sampler) *)
   }
 
   let cumulative weights =
@@ -323,11 +339,66 @@ module Sampler = struct
       s_corpus_cum = cumulative zipf;
       s_templates = templates;
       s_template_cum = cumulative weights;
+      s_corpus_spec =
+        List.map
+          (fun c -> (c.Profile.c_name, (c.Profile.c_dataset, c.Profile.c_seed)))
+          p.Profile.p_corpora;
+      s_corr_paths = Hashtbl.create 4;
     }
 
-  let body ~corpus (t : Profile.template) =
+  (* The (source path, target path) pairs a corpus' update templates draw
+     from: exactly the correspondences the server's registration computes
+     for the same (dataset, seed), so every sampled re-score names an
+     existing correspondence. *)
+  let corr_paths s corpus =
+    match Hashtbl.find_opt s.s_corr_paths corpus with
+    | Some a -> a
+    | None ->
+      let id, seed = List.assoc corpus s.s_corpus_spec in
+      let d = Option.get (Dataset.find id) in  (* validated at profile load *)
+      let m = Dataset.matching ~seed d in
+      let module Matching = Uxsm_mapping.Matching in
+      let module Schema = Uxsm_schema.Schema in
+      let src = Matching.source m and tgt = Matching.target m in
+      let a =
+        Array.of_list
+          (List.map
+             (fun (c : Matching.corr) ->
+               (Schema.path_string src c.Matching.source, Schema.path_string tgt c.Matching.target))
+             (Matching.correspondences m))
+      in
+      Hashtbl.add s.s_corr_paths corpus a;
+      a
+
+  let body s ~corpus (t : Profile.template) =
     match t.Profile.t_op with
     | "ping" -> (Json.Assoc [ ("op", Json.String "ping") ], "")
+    | "update" ->
+      (* Re-score only: the correspondence set, the schemas and every
+         component partition stay fixed, so a long run neither grows the
+         corpus nor invalidates the sampled path universe. Scores land in
+         [0.01, 1) ⊂ (0, 1]. *)
+      let paths = corr_paths s corpus in
+      let entries =
+        List.init
+          (min t.Profile.t_corrs (Array.length paths))
+          (fun _ ->
+            let src, tgt = paths.(Prng.int s.s_prng (Array.length paths)) in
+            let score = 0.01 +. Prng.float s.s_prng 0.99 in
+            Json.Assoc
+              [
+                ("source", Json.String src);
+                ("target", Json.String tgt);
+                ("score", Json.Float score);
+              ])
+      in
+      ( Json.Assoc
+          [
+            ("op", Json.String "update");
+            ("corpus", Json.String corpus);
+            ("set", Json.List entries);
+          ],
+        corpus )
     | "mappings" ->
       ( Json.Assoc
           [
@@ -357,7 +428,7 @@ module Sampler = struct
     let corpus = s.s_corpora.(pick_cum s.s_corpus_cum (Prng.float s.s_prng total_c)) in
     let total_t = s.s_template_cum.(Array.length s.s_template_cum - 1) in
     let t = s.s_templates.(pick_cum s.s_template_cum (Prng.float s.s_prng total_t)) in
-    let body, corpus = body ~corpus t in
+    let body, corpus = body s ~corpus t in
     { rq_op = t.Profile.t_op; rq_corpus = corpus; rq_body = body }
 
   let interarrival s ~rps =

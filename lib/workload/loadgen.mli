@@ -37,13 +37,21 @@ module Profile : sig
             latency is measured from the {e scheduled} arrival time. *)
 
   type template = {
-    t_op : string;  (** ["query"], ["query_topk"], ["mappings"] or ["ping"] *)
+    t_op : string;
+        (** ["query"], ["query_topk"], ["mappings"], ["ping"] or ["update"] *)
     t_pattern : string;  (** twig pattern (Table III syntax); [""] for non-query ops *)
     t_h : int;
     t_tau : float;
     t_k : int option;  (** forces the [query_topk] endpoint *)
     t_evaluator : string;  (** ["auto"], ["basic"] or ["tree"] *)
     t_weight : float;  (** relative sampling weight, >= 0 *)
+    t_corrs : int;
+        (** [update] only (JSON field ["corrs"], default 1): how many
+            correspondences each sampled update re-scores. Updates are
+            re-score-only — sampled from the corpus' own correspondence
+            set with fresh scores in [(0, 1]] — so a long run never grows
+            schemas or removes edges, and stays deterministic in
+            [(seed, stream)]. *)
   }
 
   type corpus = {

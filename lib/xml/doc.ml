@@ -87,7 +87,7 @@ let nodes_with_path t p =
   | Some ids -> List.rev ids
 
 let labels t =
-  Hashtbl.fold (fun l _ acc -> l :: acc) t.by_label [] |> List.sort compare
+  Hashtbl.fold (fun l _ acc -> l :: acc) t.by_label [] |> List.sort String.compare
 
 let subtree t i = t.tree.(i)
 

@@ -7,6 +7,14 @@ module Solver = Uxsm_assignment.Solver
 module Murty = Uxsm_assignment.Murty
 module Partition = Uxsm_assignment.Partition
 
+let pair_compare (i1, j1) (i2, j2) =
+  match Int.compare i1 i2 with 0 -> Int.compare j1 j2 | c -> c
+
+let edge_compare (i1, j1, w1) (i2, j2, w2) =
+  match Int.compare i1 i2 with
+  | 0 -> ( match Int.compare j1 j2 with 0 -> Float.compare w1 w2 | c -> c)
+  | c -> c
+
 (* Enumerate every injective partial assignment (left -> right or none)
    restricted to the given edges; return scores sorted non-increasing. *)
 let brute_force_solutions g =
@@ -52,7 +60,7 @@ let arb_graph =
 
 let valid_solution g (s : Murty.solution) =
   let lefts = List.map fst s.pairs and rights = List.map snd s.pairs in
-  let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+  let distinct l = List.length (List.sort_uniq Int.compare l) = List.length l in
   distinct lefts && distinct rights
   && List.for_all
        (fun (i, j) ->
@@ -88,7 +96,7 @@ let prop_murty_distinct =
   QCheck.Test.make ~count:200 ~name:"Murty solutions are pairwise distinct" arb_graph (fun g ->
       let got = Murty.top ~h:25 g in
       let keys = List.map (fun (s : Murty.solution) -> s.pairs) got in
-      List.length (List.sort_uniq compare keys) = List.length keys)
+      List.length (List.sort_uniq (List.compare pair_compare) keys) = List.length keys)
 
 let prop_murty_cold_equals_warm =
   QCheck.Test.make ~count:150 ~name:"Murty cold re-solve = warm restart" arb_graph (fun g ->
@@ -115,7 +123,7 @@ let prop_components_partition_edges =
   QCheck.Test.make ~count:200 ~name:"components partition the edge set" arb_graph (fun g ->
       let comps = Partition.components g in
       let all = List.concat_map (fun (c : Partition.component) -> c.edges) comps in
-      List.sort compare all = List.sort compare (Bipartite.edges g))
+      List.sort edge_compare all = List.sort edge_compare (Bipartite.edges g))
 
 (* Differential test: Partition.top must equal Murty.top as a *solution
    set* — scores and pair sets — on sparse bipartites that stress its edge
@@ -148,7 +156,7 @@ let arb_graph_with_isolated =
            (List.map (fun (i, j, w) -> Printf.sprintf "(%d,%d,%.2f)" i j w) (Bipartite.edges g))))
 
 let normalized_solutions sols =
-  List.map (fun (s : Murty.solution) -> (s.score, List.sort compare s.pairs)) sols
+  List.map (fun (s : Murty.solution) -> (s.score, List.sort pair_compare s.pairs)) sols
   |> List.sort (fun (s1, p1) (s2, p2) ->
          match Float.compare s2 s1 with
          | 0 -> compare p1 p2
@@ -221,6 +229,117 @@ let test_create_validation () =
   let raises f = Alcotest.check_raises "invalid_arg" (Invalid_argument "Bipartite.create: duplicate edge") f in
   raises (fun () -> ignore (Bipartite.create ~n_left:2 ~n_right:2 [ (0, 0, 1.0); (0, 0, 2.0) ]))
 
+(* ------------- incremental ranking (Partition.apply_delta) ------------ *)
+
+(* Random deltas over a random graph: each existing edge is kept, re-scored,
+   or removed; a few new edges land on existing or freshly-grown nodes. The
+   invariant is exact equality with a from-scratch [rank] of the patched
+   graph — scores, pair lists and order all included — because the catalog
+   relies on incremental answers being byte-identical to rebuilt ones. *)
+let gen_graph_and_delta =
+  let open QCheck.Gen in
+  let* g = gen_graph in
+  let edges = Bipartite.edges g in
+  let* grow_l = int_range 0 2 in
+  let* grow_r = int_range 0 2 in
+  let nl' = Bipartite.n_left g + grow_l and nr' = Bipartite.n_right g + grow_r in
+  (* 0 = keep, 1 = re-score, 2 = remove *)
+  let* fates = flatten_l (List.map (fun e -> map (fun f -> (e, f)) (int_range 0 2)) edges) in
+  let* new_scores = flatten_l (List.map (fun _ -> int_range 1 16) fates) in
+  let set_existing =
+    List.concat
+      (List.map2
+         (fun ((i, j, _), fate) k ->
+           if fate = 1 then [ (i, j, float_of_int k /. 4.0) ] else [])
+         fates new_scores)
+  in
+  let removes =
+    List.filter_map (fun ((i, j, _), fate) -> if fate = 2 then Some (i, j) else None) fates
+  in
+  (* A few brand-new pairs, biased toward the grown fringe. *)
+  let* n_new = int_range 0 3 in
+  let* new_edges =
+    flatten_l
+      (List.init n_new (fun _ ->
+           let* i = int_range 0 (nl' - 1) in
+           let* j = int_range 0 (nr' - 1) in
+           let* k = int_range 1 16 in
+           return (i, j, float_of_int k /. 4.0)))
+  in
+  let fresh =
+    List.filter
+      (fun (i, j, _) ->
+        i >= Bipartite.n_left g || j >= Bipartite.n_right g || Bipartite.weight g i j = None)
+      new_edges
+  in
+  return
+    ( g,
+      { Partition.d_set = set_existing @ fresh; d_remove = removes; d_n_left = nl'; d_n_right = nr' }
+    )
+
+let arb_graph_and_delta =
+  QCheck.make gen_graph_and_delta ~print:(fun (g, (d : Partition.delta)) ->
+      Printf.sprintf "nl=%d nr=%d edges=[%s] set=[%s] remove=[%s] nl'=%d nr'=%d"
+        (Bipartite.n_left g) (Bipartite.n_right g)
+        (String.concat "; "
+           (List.map (fun (i, j, w) -> Printf.sprintf "(%d,%d,%.2f)" i j w) (Bipartite.edges g)))
+        (String.concat "; "
+           (List.map (fun (i, j, w) -> Printf.sprintf "(%d,%d,%.2f)" i j w) d.Partition.d_set))
+        (String.concat "; "
+           (List.map (fun (i, j) -> Printf.sprintf "(%d,%d)" i j) d.Partition.d_remove))
+        d.Partition.d_n_left d.Partition.d_n_right)
+
+let patched_graph g (d : Partition.delta) =
+  Bipartite.create ~n_left:d.d_n_left ~n_right:d.d_n_right
+    (Bipartite.apply_edge_delta ~set:d.d_set ~remove:d.d_remove (Bipartite.edges g))
+
+let apply_delta_equals_rank ?exec (g, (d : Partition.delta)) =
+  let h = 15 in
+  let incr = Partition.apply_delta ?exec d (Partition.rank ?exec ~h g) in
+  let fresh = Partition.rank ~h (patched_graph g d) in
+  (* Exact equality, order included: scores are dyadic so [=] is sound. *)
+  Partition.solutions incr = Partition.solutions fresh
+  && Bipartite.edges (Partition.graph incr) = Bipartite.edges (Partition.graph fresh)
+
+let prop_apply_delta_equals_rank =
+  QCheck.Test.make ~count:300 ~name:"Partition.apply_delta = rank of the patched graph"
+    arb_graph_and_delta apply_delta_equals_rank
+
+let prop_apply_delta_equals_rank_domains =
+  QCheck.Test.make ~count:60
+    ~name:"Partition.apply_delta = rank, Domains executor"
+    arb_graph_and_delta
+    (apply_delta_equals_rank ~exec:(Uxsm_exec.Executor.domains 3))
+
+let prop_delta_of_graphs_round_trips =
+  QCheck.Test.make ~count:200 ~name:"delta_of_graphs reconstructs the new edge list exactly"
+    arb_graph_and_delta (fun (g, d) ->
+      let g' = patched_graph g d in
+      let d' = Partition.delta_of_graphs ~old:g g' in
+      Bipartite.apply_edge_delta ~set:d'.Partition.d_set ~remove:d'.Partition.d_remove
+        (Bipartite.edges g)
+      = Bipartite.edges g')
+
+let test_apply_delta_reuses_untouched_components () =
+  (* Two components; re-score an edge in the first and the second's Murty
+     list must be reused, visible through the Obs counters. *)
+  let g =
+    Bipartite.create ~n_left:4 ~n_right:4
+      [ (0, 0, 0.5); (1, 0, 0.75); (2, 2, 0.25); (3, 3, 1.0) ]
+  in
+  let r = Partition.rank ~h:10 g in
+  let reranked = Uxsm_obs.Obs.counter "partition.components_reranked" in
+  let reused = Uxsm_obs.Obs.counter "partition.components_reused" in
+  let rr0 = Uxsm_obs.Obs.value reranked and ru0 = Uxsm_obs.Obs.value reused in
+  let d =
+    { Partition.d_set = [ (0, 0, 1.0) ]; d_remove = []; d_n_left = 4; d_n_right = 4 }
+  in
+  let r' = Partition.apply_delta d r in
+  Alcotest.(check int) "one component re-ranked" 1 (Uxsm_obs.Obs.value reranked - rr0);
+  Alcotest.(check int) "two components reused" 2 (Uxsm_obs.Obs.value reused - ru0);
+  Alcotest.(check bool) "still equal to fresh rank" true
+    (Partition.solutions r' = Partition.solutions (Partition.rank ~h:10 (patched_graph g d)))
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -238,4 +357,9 @@ let suite =
     q prop_murty_cold_equals_warm;
     q prop_partition_matches_murty;
     q prop_components_partition_edges;
+    Alcotest.test_case "apply_delta reuses untouched components" `Quick
+      test_apply_delta_reuses_untouched_components;
+    q prop_apply_delta_equals_rank;
+    q prop_apply_delta_equals_rank_domains;
+    q prop_delta_of_graphs_round_trips;
   ]

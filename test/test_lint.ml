@@ -97,10 +97,11 @@ let test_r2_fold () =
   check_rules "piped into sort is fine" []
     (Lint.analyze lib_ctx
        "let keys tbl =\n\
-       \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare\n");
+       \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare\n");
   check_rules "sort applied directly is fine" []
     (Lint.analyze lib_ctx
-       "let keys tbl = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])\n");
+       "let keys tbl =\n\
+       \  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])\n");
   check_rules "scalar accumulator is fine" []
     (Lint.analyze lib_ctx "let n tbl = Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0\n");
   let annotated =
@@ -122,6 +123,32 @@ let test_r2_iter () =
   Alcotest.(check (option string)) "annotation suppresses"
     (Some "effect is order-independent")
     (List.hd (Lint.analyze lib_ctx annotated)).Lint.suppressed
+
+let test_poly_compare () =
+  let fs = Lint.analyze lib_ctx "let f xs = List.sort compare xs\n" in
+  check_rules "bare compare flagged" [ "poly-compare" ] fs;
+  Alcotest.(check int) "fails in lib" 1 (Lint.exit_code fs);
+  check_rules "Stdlib.compare flagged too" [ "poly-compare" ]
+    (Lint.analyze lib_ctx "let f xs = Array.sort Stdlib.compare xs\n");
+  check_rules "List.merge flagged" [ "poly-compare" ]
+    (Lint.analyze lib_ctx "let f a b = List.merge compare a b\n");
+  check_rules "sort_uniq flagged" [ "poly-compare" ]
+    (Lint.analyze lib_ctx "let f xs = List.sort_uniq compare xs\n");
+  check_rules "typed comparator is fine" []
+    (Lint.analyze lib_ctx "let f xs = List.sort String.compare xs\n");
+  check_rules "custom comparator is fine" []
+    (Lint.analyze lib_ctx "let f xs = List.sort (fun a b -> compare a b) xs\n");
+  check_rules "compare outside a sort is fine" []
+    (Lint.analyze lib_ctx "let eq a b = compare a b = 0\n");
+  let fs = Lint.analyze bench_ctx "let f xs = List.sort compare xs\n" in
+  Alcotest.(check string) "warning outside lib" "warning"
+    (Lint.severity_name (List.hd fs).Lint.severity);
+  let annotated =
+    "(* " ^ allow ^ " poly-compare — structural order is the dedup key *)\n\
+     let f xs = List.sort_uniq compare xs\n"
+  in
+  Alcotest.(check int) "annotated passes" 0
+    (Lint.exit_code (Lint.analyze lib_ctx annotated))
 
 let test_r2_float_eq () =
   check_rules "float literal compare flagged" [ "float-eq" ]
@@ -339,6 +366,8 @@ let suite =
     Alcotest.test_case "R2: unsorted Hashtbl.fold" `Quick test_r2_fold;
     Alcotest.test_case "R2: Hashtbl.iter warns" `Quick test_r2_iter;
     Alcotest.test_case "R2: float equality" `Quick test_r2_float_eq;
+    Alcotest.test_case "R2: polymorphic compare as sort comparator" `Quick
+      test_poly_compare;
     Alcotest.test_case "R3: catch-all handler" `Quick test_r3_catch_all;
     Alcotest.test_case "R3: Obj.magic" `Quick test_r3_obj_magic;
     Alcotest.test_case "R3: stdout print in lib" `Quick test_r3_stdout_print;

@@ -247,7 +247,7 @@ let prop_ascending_clean =
   QCheck.Test.make ~count:100 ~name:"ascending rank chains never violate"
     QCheck.(list_of_size Gen.(1 -- 8) (int_range 1 1000))
     (fun ranks ->
-      let ranks = List.sort_uniq compare ranks in
+      let ranks = List.sort_uniq Int.compare ranks in
       let locks = List.mapi (fun i r -> mk (Printf.sprintf "test.q%d" i) r) ranks in
       with_mode Locks.Raise (fun () ->
           List.iter Locks.lock locks;

@@ -212,6 +212,165 @@ let prop_mapping_set_round_trip =
                && Float.abs (p1 -. p2) <= 1e-12)
              (Mapping_set.mappings mset) (Mapping_set.mappings mset'))
 
+(* ----------------- incremental maintenance (deltas) ---------------- *)
+
+(* Random path-addressed delta over a random matching: re-score some
+   correspondences, remove others, add a few new pairs between existing
+   elements. Schema growth is exercised by the deterministic test below
+   (its rightmost-spine precondition makes random generation awkward). *)
+let gen_matching_and_delta =
+  let open QCheck.Gen in
+  let* seed = int_range 1 1000000 in
+  let* corrs = int_range 2 14 in
+  let prng = Uxsm_util.Prng.create seed in
+  let u = Fixtures.random_matching prng ~source_n:12 ~target_n:9 ~corrs in
+  let src = Matching.source u and tgt = Matching.target u in
+  let path_of s e = Schema.path_string s e in
+  let* fates =
+    flatten_l
+      (List.map (fun c -> map (fun f -> (c, f)) (int_range 0 2)) (Matching.correspondences u))
+  in
+  let* scores = flatten_l (List.map (fun _ -> int_range 1 99) fates) in
+  let set_existing =
+    List.concat
+      (List.map2
+         (fun ((c : Matching.corr), fate) k ->
+           if fate = 1 then
+             [ (path_of src c.source, path_of tgt c.target, float_of_int k /. 100.0) ]
+           else [])
+         fates scores)
+  in
+  let removes =
+    List.filter_map
+      (fun ((c : Matching.corr), fate) ->
+        if fate = 2 then Some (path_of src c.source, path_of tgt c.target) else None)
+      fates
+  in
+  let* n_new = int_range 0 2 in
+  let* added =
+    flatten_l
+      (List.init n_new (fun _ ->
+           let* x = int_range 0 (Schema.size src - 1) in
+           let* y = int_range 0 (Schema.size tgt - 1) in
+           let* k = int_range 1 99 in
+           return (path_of src x, path_of tgt y, float_of_int k /. 100.0)))
+  in
+  let existing = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Matching.corr) ->
+      Hashtbl.replace existing (path_of src c.source, path_of tgt c.target) ())
+    (Matching.correspondences u);
+  let added = List.filter (fun (x, y, _) -> not (Hashtbl.mem existing (x, y))) added in
+  let delta =
+    {
+      Matching.set_scores = set_existing @ added;
+      remove_corrs = removes;
+      add_source = [];
+      add_target = [];
+    }
+  in
+  return (u, delta)
+
+let arb_matching_and_delta =
+  QCheck.make gen_matching_and_delta ~print:(fun (u, (d : Matching.delta)) ->
+      Printf.sprintf "corrs=%d set=[%s] remove=[%s]" (Matching.capacity u)
+        (String.concat "; "
+           (List.map (fun (x, y, s) -> Printf.sprintf "%s~%s=%.2f" x y s) d.Matching.set_scores))
+        (String.concat "; "
+           (List.map (fun (x, y) -> Printf.sprintf "%s~%s" x y) d.Matching.remove_corrs)))
+
+let msets_identical a b =
+  Mapping_set.size a = Mapping_set.size b
+  && List.for_all2
+       (fun (m1, p1) (m2, p2) ->
+         Mapping.equal m1 m2
+         && Float.equal (Mapping.score m1) (Mapping.score m2)
+         && Float.equal p1 p2)
+       (Mapping_set.mappings a) (Mapping_set.mappings b)
+
+let update_equals_generate ?exec (u, delta) =
+  match Matching.apply_delta delta u with
+  | Error _ -> true (* e.g. the delta removed every correspondence of a node both sides *)
+  | Ok u' ->
+    let h = 10 in
+    let t = Mapping_set.generate ?exec ~h u in
+    let incr = Mapping_set.update ?exec u' t in
+    msets_identical incr (Mapping_set.generate ~h u')
+
+let prop_update_equals_generate =
+  QCheck.Test.make ~count:200 ~name:"Mapping_set.update = generate on the patched matching"
+    arb_matching_and_delta update_equals_generate
+
+let prop_update_equals_generate_domains =
+  QCheck.Test.make ~count:50 ~name:"Mapping_set.update = generate, Domains executor"
+    arb_matching_and_delta
+    (update_equals_generate ~exec:(Uxsm_exec.Executor.domains 3))
+
+let test_apply_delta_grows_schemas () =
+  (* r(a, b): the rightmost root-to-leaf spine is r -> b, so both r and b
+     accept appended children without renumbering a single existing id. *)
+  let s = Schema.of_spec (Schema.spec "r" [ Schema.spec "a" []; Schema.spec "b" [] ]) in
+  let u = Matching.create ~source:s ~target:s [ { Matching.source = 1; target = 2; score = 0.5 } ] in
+  let delta =
+    {
+      Matching.set_scores = [ ("r.a", "r.c", 0.9) ];
+      remove_corrs = [];
+      add_source = [];
+      add_target = [ ("r", "c") ];
+    }
+  in
+  (match Matching.apply_delta delta u with
+  | Error e -> Alcotest.failf "grow + set should apply: %s" e
+  | Ok u' ->
+    Alcotest.(check int) "target grew" 4 (Schema.size (Matching.target u'));
+    Alcotest.(check int) "source unchanged" 3 (Schema.size (Matching.source u'));
+    Alcotest.(check (option int)) "new element addressable" (Some 3)
+      (Schema.find_by_path (Matching.target u') "r.c");
+    Alcotest.(check int) "both corrs present" 2 (Matching.capacity u');
+    (* Incremental mapping sets survive schema growth too. *)
+    let t = Mapping_set.generate ~h:5 u in
+    Alcotest.(check bool) "update = generate after growth" true
+      (msets_identical (Mapping_set.update u' t) (Mapping_set.generate ~h:5 u')));
+  (* Appending under a non-spine parent would renumber b — rejected. *)
+  let bad =
+    { Matching.empty_delta with add_source = [ ("r.a", "x") ] }
+  in
+  match Matching.apply_delta bad u with
+  | Ok _ -> Alcotest.fail "non-spine growth must be rejected"
+  | Error e ->
+    Alcotest.(check bool) "error names the renumbering" true
+      (String.length e > 0)
+
+let test_apply_delta_errors () =
+  let u = Fixtures.fig1_matching in
+  let err d =
+    match Matching.apply_delta d u with
+    | Ok _ -> Alcotest.fail "expected Error"
+    | Error e -> e
+  in
+  let has needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "unknown source path" true
+    (has "unknown source path"
+       (err { Matching.empty_delta with set_scores = [ ("Nope.Nada", "ORDER.SP.SCN", 0.5) ] }));
+  Alcotest.(check bool) "score out of range" true
+    (has "must be in (0, 1]"
+       (err { Matching.empty_delta with set_scores = [ ("Order.BP", "ORDER.IP", 1.5) ] }));
+  Alcotest.(check bool) "removing an absent correspondence" true
+    (has "to remove"
+       (err { Matching.empty_delta with remove_corrs = [ ("Order.BP.BOC.BCN", "ORDER.SP") ] }))
+
+let test_update_requires_provenance () =
+  let t = Fixtures.fig3_mset in
+  Alcotest.(check bool) "of_mappings sets have no provenance" true
+    (Mapping_set.ranked t = None);
+  match Mapping_set.update (Mapping_set.matching t) t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "update without provenance must raise"
+
 let suite =
   [
     Alcotest.test_case "mapping validation" `Quick test_mapping_validation;
@@ -227,4 +386,11 @@ let suite =
     Alcotest.test_case "expert feedback" `Quick test_feedback;
     QCheck_alcotest.to_alcotest prop_matching_round_trip;
     QCheck_alcotest.to_alcotest prop_mapping_set_round_trip;
+    Alcotest.test_case "apply_delta grows schemas append-only" `Quick
+      test_apply_delta_grows_schemas;
+    Alcotest.test_case "apply_delta validation errors" `Quick test_apply_delta_errors;
+    Alcotest.test_case "update rejects provenance-free sets" `Quick
+      test_update_requires_provenance;
+    QCheck_alcotest.to_alcotest prop_update_equals_generate;
+    QCheck_alcotest.to_alcotest prop_update_equals_generate_domains;
   ]

@@ -206,6 +206,85 @@ let test_protocol_round_trip () =
       {|{"op":"shutdown","id":null}|};
     ]
 
+(* --------------------- update codec (deltas) ----------------------- *)
+
+module Matching = Uxsm_mapping.Matching
+module Schema = Uxsm_schema.Schema
+
+let test_protocol_update_parse () =
+  (match
+     (parse_ok
+        {|{"op":"update","corpus":"c","set":[{"source":"a.b","target":"x.y","score":0.5}],"remove":[{"source":"a.c","target":"x.z"}],"add_source_elements":[{"parent":"a","name":"n"}],"add_target_elements":[{"parent":"x","name":"m"}]}|})
+       .Protocol.req
+   with
+  | Protocol.Update { corpus = "c"; delta } ->
+    Alcotest.(check bool) "set entry" true
+      (delta.Matching.set_scores = [ ("a.b", "x.y", 0.5) ]);
+    Alcotest.(check bool) "remove entry" true (delta.Matching.remove_corrs = [ ("a.c", "x.z") ]);
+    Alcotest.(check bool) "source growth" true (delta.Matching.add_source = [ ("a", "n") ]);
+    Alcotest.(check bool) "target growth" true (delta.Matching.add_target = [ ("x", "m") ])
+  | _ -> Alcotest.fail "expected Update");
+  (* Omitted arrays mean empty; a delta with nothing at all is an error. *)
+  (match (parse_ok {|{"op":"update","corpus":"c","remove":[{"source":"a","target":"b"}]}|}).Protocol.req with
+  | Protocol.Update { delta; _ } ->
+    Alcotest.(check bool) "only remove populated" true
+      (delta.Matching.set_scores = [] && delta.Matching.add_source = []
+      && delta.Matching.add_target = [])
+  | _ -> Alcotest.fail "expected Update");
+  Alcotest.(check bool) "update is a barrier" false
+    (Protocol.is_pure (parse_ok {|{"op":"update","corpus":"c","set":[{"source":"a","target":"b","score":0.1}]}|}).Protocol.req);
+  (* Field-naming parse errors, same style as the other ops. *)
+  Alcotest.(check bool) "empty delta named" true
+    (contains ~needle:{|need at least one of "set"|}
+       (parse_err {|{"op":"update","corpus":"c"}|}));
+  Alcotest.(check bool) "missing score named" true
+    (contains ~needle:{|field "set" entries: missing field "score"|}
+       (parse_err {|{"op":"update","corpus":"c","set":[{"source":"a","target":"b"}]}|}));
+  Alcotest.(check bool) "non-string source named" true
+    (contains ~needle:{|field "remove" entries: field "source" is not a string|}
+       (parse_err {|{"op":"update","corpus":"c","remove":[{"source":7,"target":"b"}]}|}));
+  Alcotest.(check bool) "non-array set named" true
+    (contains ~needle:{|field "set" is not an array|}
+       (parse_err {|{"op":"update","corpus":"c","set":{"source":"a"}}|}));
+  Alcotest.(check bool) "missing corpus named" true
+    (contains ~needle:{|"corpus"|}
+       (parse_err {|{"op":"update","set":[{"source":"a","target":"b","score":0.1}]}|}))
+
+(* Random deltas encode and decode to the same request — including the
+   empty-arrays-as-absence convention. *)
+let gen_update_env =
+  let open QCheck.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let path = map2 (fun a b -> a ^ "." ^ b) name name in
+  let score = map (fun k -> float_of_int k /. 1000.0) (int_range 1 1000) in
+  let* corpus = name in
+  let* set = list_size (int_range 0 3) (triple path path score) in
+  let* remove = list_size (int_range 0 3) (pair path path) in
+  let* add_source = list_size (int_range 0 2) (pair path name) in
+  let* add_target = list_size (int_range 0 2) (pair path name) in
+  return
+    {
+      Protocol.id = None;
+      req =
+        Protocol.Update
+          {
+            corpus;
+            delta = { Matching.set_scores = set; remove_corrs = remove; add_source; add_target };
+          };
+    }
+
+let prop_update_round_trip =
+  QCheck.Test.make ~count:300 ~name:"update codec: parse (to_json env) = env"
+    (QCheck.make gen_update_env ~print:(fun env -> Json.to_string (Protocol.to_json env)))
+    (fun env ->
+      match env.Protocol.req with
+      | Protocol.Update { delta; _ } when Matching.delta_is_empty delta ->
+        true (* an empty delta does not encode to a parseable update; skip *)
+      | req -> (
+        match Protocol.parse (Protocol.to_json env) with
+        | Error _ -> false
+        | Ok env' -> env'.Protocol.req = req && env'.Protocol.id = None))
+
 let test_overloaded_response_shape () =
   let r = Protocol.overloaded_response ~id:(Json.Int 9) () in
   (match (Json.member "ok" r, Json.member "error" r) with
@@ -405,6 +484,116 @@ let test_cache_eviction_rebuilds () =
   | None -> Alcotest.fail "stats carries no cache section");
   Alcotest.(check bool) "tree rebuilt after eviction" true
     (counter_value stats "blocktree.builds" >= 2)
+
+(* ---------------------- incremental updates ----------------------- *)
+
+(* The fig3 corpus exposes known paths: re-score Order.BP ~ ORDER.IP. *)
+let update_line =
+  {|{"op":"update","corpus":"u","set":[{"source":"Order.BP","target":"ORDER.IP","score":0.9}]}|}
+
+let test_update_dispatch () =
+  Obs.reset ();
+  let srv = Server.create ~cache_entries:16 () in
+  assert_ok "register" (response_of_line srv (register_line "u"));
+  let q = {|{"op":"query","corpus":"u","query":"ORDER//ICN","h":5,"tau":0.3}|} in
+  assert_ok "warm query" (response_of_line srv q);
+  let r = response_of_line srv update_line in
+  assert_ok "update" r;
+  (* The warm query cached an mset, a tree and a plan; the update patches
+     the first two in place and drops only the plan. *)
+  Alcotest.(check int) "mset patched" 1 (int_member "msets_patched" r);
+  Alcotest.(check int) "tree patched" 1 (int_member "trees_patched" r);
+  Alcotest.(check int) "plan invalidated" 1 (int_member "plans_invalidated" r);
+  Alcotest.(check bool) "doc untouched without schema growth" true
+    (Json.member "doc_rebuilt" r = Some (Json.Bool false));
+  Alcotest.(check int) "capacity unchanged by a re-score" 10 (int_member "capacity" r);
+  let r_incr = Server.handle_line srv q in
+  (* The update is visible in the stats counters, and the patch re-ranked
+     only the touched component (fig1's graph has three). *)
+  let stats = response_of_line srv {|{"op":"stats"}|} in
+  Alcotest.(check int) "catalog.updates" 1 (counter_value stats "catalog.updates");
+  Alcotest.(check bool) "some components re-ranked" true
+    (counter_value stats "partition.components_reranked" > 0);
+  Alcotest.(check bool) "untouched components reused" true
+    (counter_value stats "partition.components_reused"
+    > counter_value stats "partition.components_reranked");
+  (* A second server applies the same delta cold — no cached artifacts to
+     patch — and must produce byte-identical answers from scratch. *)
+  let srv2 = Server.create ~cache_entries:16 () in
+  assert_ok "register2" (response_of_line srv2 (register_line "u"));
+  let r2 = response_of_line srv2 update_line in
+  assert_ok "update cold" r2;
+  Alcotest.(check int) "nothing cached to patch" 0 (int_member "msets_patched" r2);
+  Alcotest.(check string) "incremental = from-scratch answers" (Server.handle_line srv2 q) r_incr;
+  (* Updating an unknown corpus or an empty delta is a clean error. *)
+  assert_error "unknown corpus"
+    (response_of_line srv
+       {|{"op":"update","corpus":"ghost","set":[{"source":"a","target":"b","score":0.1}]}|});
+  assert_error "bad path"
+    (response_of_line srv
+       {|{"op":"update","corpus":"u","set":[{"source":"No.Such","target":"ORDER.IP","score":0.1}]}|})
+
+let test_update_with_schema_growth () =
+  let srv = Server.create ~cache_entries:16 () in
+  assert_ok "register" (response_of_line srv (register_line "u"));
+  let q = {|{"op":"query","corpus":"u","query":"ORDER//ICN","h":5}|} in
+  assert_ok "warm (builds the doc)" (response_of_line srv q);
+  (* Grow the source schema (Order.SP is the rightmost spine) and attach a
+     correspondence to the new element in the same delta. *)
+  let grow =
+    {|{"op":"update","corpus":"u","add_source_elements":[{"parent":"Order.SP","name":"SCN"}],"set":[{"source":"Order.SP.SCN","target":"ORDER.SP.SCN","score":0.7}]}|}
+  in
+  let r = response_of_line srv grow in
+  assert_ok "growing update" r;
+  Alcotest.(check int) "source grew" 10 (int_member "source_elements" r);
+  Alcotest.(check bool) "doc rebuilt for the grown schema" true
+    (Json.member "doc_rebuilt" r = Some (Json.Bool true));
+  Alcotest.(check int) "capacity grew" 11 (int_member "capacity" r);
+  (* Same growth applied cold gives byte-identical answers. *)
+  let srv2 = Server.create ~cache_entries:16 () in
+  assert_ok "register2" (response_of_line srv2 (register_line "u"));
+  assert_ok "grow cold" (response_of_line srv2 grow);
+  Alcotest.(check string) "incremental = from-scratch answers"
+    (Server.handle_line srv2 q) (Server.handle_line srv q)
+
+let test_update_survives_eviction () =
+  (* A capacity-2 cache evicts the patched artifacts; the rebuild replays
+     the stored delta, so answers keep matching a server that never
+     evicted anything. *)
+  let srv = Server.create ~cache_entries:2 () in
+  let big = Server.create ~cache_entries:16 () in
+  List.iter
+    (fun s ->
+      assert_ok "register" (response_of_line s (register_line "u"));
+      assert_ok "update" (response_of_line s update_line))
+    [ srv; big ];
+  let q = {|{"op":"query","corpus":"u","query":"ORDER//ICN","h":5}|} in
+  let want = Server.handle_line big q in
+  Alcotest.(check string) "post-update answers" want (Server.handle_line srv q);
+  (* Thrash the small cache with other plan keys, then re-ask. *)
+  assert_ok "other plan"
+    (response_of_line srv {|{"op":"query","corpus":"u","query":"ORDER//SCN","h":5}|});
+  assert_ok "forced plan"
+    (response_of_line srv
+       {|{"op":"query","corpus":"u","query":"ORDER//ICN","h":5,"evaluator":"basic"}|});
+  Alcotest.(check string) "answers survive eviction + replay" want (Server.handle_line srv q);
+  (* The update also survives a save/load round-trip of the mapping set. *)
+  let save = response_of_line srv {|{"op":"save","corpus":"u","h":5}|} in
+  assert_ok "save" save;
+  match Option.bind (Json.member "text" save) Json.to_string_opt with
+  | None -> Alcotest.fail "save carries no text"
+  | Some text -> (
+    match Serialize.mapping_set_of_string text with
+    | Error e -> Alcotest.failf "saved text does not load: %s" e
+    | Ok mset -> (
+      let m = Mapping_set.matching mset in
+      match
+        Matching.score m
+          (Option.get (Schema.find_by_path (Matching.source m) "Order.BP"))
+          (Option.get (Schema.find_by_path (Matching.target m) "ORDER.IP"))
+      with
+      | Some s -> Alcotest.(check (float 1e-9)) "re-scored corr saved" 0.9 s
+      | None -> Alcotest.fail "re-scored correspondence missing from saved set"))
 
 (* ---------------------- evaluator selection ----------------------- *)
 
@@ -850,7 +1039,15 @@ let suite =
     Alcotest.test_case "protocol parsing" `Quick test_protocol_parse;
     Alcotest.test_case "protocol errors name fields" `Quick test_protocol_errors;
     Alcotest.test_case "protocol round-trip" `Quick test_protocol_round_trip;
+    Alcotest.test_case "update codec: parse + field-naming errors" `Quick
+      test_protocol_update_parse;
+    QCheck_alcotest.to_alcotest prop_update_round_trip;
     Alcotest.test_case "dispatch endpoints" `Quick test_dispatch_basic;
+    Alcotest.test_case "update patches warm caches (e2e)" `Quick test_update_dispatch;
+    Alcotest.test_case "update grows schemas, rebuilds the doc" `Quick
+      test_update_with_schema_growth;
+    Alcotest.test_case "updates survive eviction via delta replay" `Quick
+      test_update_survives_eviction;
     Alcotest.test_case "stats_reset opens a fresh window" `Quick test_stats_reset;
     Alcotest.test_case "malformed input never crashes" `Quick test_dispatch_errors_never_crash;
     Alcotest.test_case "identical queries amortize (e2e)" `Quick test_query_amortization;

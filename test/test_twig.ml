@@ -178,8 +178,13 @@ let prop_join_vs_nested_loops =
         List.filter (fun _ -> Uxsm_util.Prng.bool prng) (List.init (Doc.size doc) Fun.id)
       in
       let left = sample () and right = sample () in
+      let pair_compare (a1, d1) (a2, d2) =
+        match Int.compare a1 a2 with 0 -> Int.compare d1 d2 | c -> c
+      in
       let check axis =
-        let got = List.sort compare (Structural_join.node_pairs doc ~axis ~left ~right) in
+        let got =
+          List.sort pair_compare (Structural_join.node_pairs doc ~axis ~left ~right)
+        in
         let expect =
           List.concat_map
             (fun a ->
@@ -193,7 +198,7 @@ let prop_join_vs_nested_loops =
                   if rel then Some (a, d) else None)
                 right)
             left
-          |> List.sort compare
+          |> List.sort pair_compare
         in
         got = expect
       in

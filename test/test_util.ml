@@ -52,7 +52,7 @@ let prop_sample_without_replacement =
       let k = k0 in
       let s = Prng.sample_without_replacement g k n in
       List.length s = k
-      && List.sort_uniq compare s = s
+      && List.sort_uniq Int.compare s = s
       && List.for_all (fun x -> x >= 0 && x < n) s)
 
 let test_gaussian () =
@@ -75,7 +75,7 @@ let prop_heap_sorts =
         | None -> List.rev acc
         | Some (p, _) -> drain (p :: acc)
       in
-      drain [] = List.sort compare xs)
+      drain [] = List.sort Float.compare xs)
 
 let test_heap_peek () =
   let h = Fheap.create () in

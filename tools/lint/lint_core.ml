@@ -334,6 +334,19 @@ let expr_findings (ctx : context) str =
         emit ~severity:Warning e.pexp_loc "nondet-iter"
           "Hashtbl.iter visits entries in hash-traversal order; the effect must be \
            order-independent (sort the keys first, or annotate with the reason)"
+      | Some p
+        when List.exists
+               (fun s -> ends_with2 p "List" s || ends_with2 p "Array" s)
+               sort_functions
+             || ends_with2 p "List" "merge" -> (
+        match arg_exprs with
+        | cmp :: _ when ident_path cmp = Some [ "compare" ] ->
+          emit e.pexp_loc "poly-compare"
+            "polymorphic compare as a sort comparator is slow and orders by \
+             representation (NaN and cyclic values can even raise); use a typed \
+             comparator (String.compare, Int.compare, a field comparator) or \
+             annotate why structural order is intended"
+        | _ -> ())
       | Some [ ("=" | "<>" | "==" | "!=") ] ->
         if List.exists is_float_literal arg_exprs then
           emit ~severity:Warning e.pexp_loc "float-eq"

@@ -19,7 +19,7 @@ let rec walk_dir acc dir =
           else acc)
       acc entries
 
-let ml_files ~dirs = List.sort compare (List.fold_left walk_dir [] dirs)
+let ml_files ~dirs = List.sort String.compare (List.fold_left walk_dir [] dirs)
 
 (* Wrapper module name of the dune library living in [dir], if any:
    [(library (name uxsm_util) …)] gives ["Uxsm_util"]. A crude token scan

@@ -1059,4 +1059,5 @@ let analyze ~files =
   in
   (* Propagation can surface one site through several contexts; report each
      (rule, site, message) once. *)
+  (* lint: allow poly-compare — findings are records of scalars; structural order is the dedup key *)
   List.sort_uniq compare findings
